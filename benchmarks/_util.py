@@ -1,0 +1,13 @@
+"""Result emission shared by all benchmarks."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered result table and persist it under benchmarks/results."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n", flush=True)

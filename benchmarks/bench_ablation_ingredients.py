@@ -1,0 +1,28 @@
+"""Ablation: the three ParaGraph ingredients (paper §III design choices).
+
+ParaGraph combines GraphSage's concat-skip, RGCN's per-edge-type grouping,
+and GAT's attention.  This bench disables one at a time on the CAP model
+and reports test accuracy, validating the design rationale.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_ingredients
+
+
+def test_ablation_ingredients(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_ingredients(config, bundle), rounds=1, iterations=1
+    )
+    emit("ablation_ingredients", result.render())
+
+    rows = {row["variant"]: row for row in result.rows}
+    assert set(rows) == {
+        "paragraph (full)",
+        "no attention",
+        "no edge-type grouping",
+        "no concat skip",
+    }
+    # the full model should be competitive with every ablated variant
+    full = rows["paragraph (full)"]["r2"]
+    best = max(row["r2"] for row in result.rows)
+    assert full >= best - 0.2

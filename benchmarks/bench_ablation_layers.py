@@ -1,0 +1,19 @@
+"""Ablation: convolution depth sweep (paper §V: "plateaus at 5").
+
+Trains the CAP model at several depths L and reports test R²/MAPE.
+Expected shape: accuracy improves with depth and saturates around L=5.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_layer_sweep
+
+
+def test_ablation_layer_depth(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_layer_sweep(config, bundle), rounds=1, iterations=1
+    )
+    emit("ablation_layers", result.render())
+
+    r2 = {row["variant"]: row["r2"] for row in result.rows}
+    # shape: deeper-than-one beats a single layer
+    assert max(v for k, v in r2.items() if k != "L=1") >= r2["L=1"] - 0.05

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the core pipeline stages.
+
+Unlike the table/figure benchmarks (one-shot experiment drivers), these
+measure repeatable kernels with real statistics: graph construction, layout
+synthesis, a ParaGraph forward pass, and a full training step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.devices import NODE_TYPES
+from repro.circuits.generators.chip import TRAIN_RECIPES, compose_chip
+from repro.graph import build_graph, merge_graphs
+from repro.graph.features import feature_dim
+from repro.layout import synthesize_layout
+from repro.models import GNNRegressor, GraphInputs
+from repro.nn import Adam, Tensor, mse_loss
+from repro.rng import stream
+
+
+@pytest.fixture(scope="module")
+def perf_circuit():
+    return compose_chip(TRAIN_RECIPES[3], seed=0, scale=0.3).circuit
+
+
+@pytest.fixture(scope="module")
+def perf_inputs(perf_circuit, bundle):
+    graph = build_graph(perf_circuit)
+    return GraphInputs.from_graph(graph, bundle.scaler), graph
+
+
+def test_perf_graph_construction(benchmark, perf_circuit):
+    graph = benchmark(lambda: build_graph(perf_circuit))
+    assert graph.num_nodes > 100
+
+
+def test_perf_layout_synthesis(benchmark, perf_circuit):
+    result = benchmark(lambda: synthesize_layout(perf_circuit, seed=1))
+    assert len(result.net_caps) > 50
+
+
+def test_perf_paragraph_forward(benchmark, perf_inputs):
+    inputs, graph = perf_inputs
+    model = GNNRegressor(
+        "paragraph",
+        {t: feature_dim(t) for t in NODE_TYPES},
+        stream(0, "perf"),
+        embed_dim=32,
+        num_layers=5,
+    )
+    model.eval()
+    ids = graph.nodes_of_type["net"]
+    out = benchmark(lambda: model(inputs, ids))
+    assert out.shape == (len(ids), 1)
+
+
+def test_perf_training_step(benchmark, perf_inputs):
+    inputs, graph = perf_inputs
+    model = GNNRegressor(
+        "paragraph",
+        {t: feature_dim(t) for t in NODE_TYPES},
+        stream(0, "perf-step"),
+        embed_dim=32,
+        num_layers=5,
+    )
+    ids = graph.nodes_of_type["net"]
+    target = Tensor(np.zeros((len(ids), 1)))
+    optimizer = Adam(model.parameters(), lr=0.01)
+
+    def step():
+        optimizer.zero_grad()
+        loss = mse_loss(model(inputs, ids), target)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_perf_merge_graphs(benchmark, bundle):
+    graphs = [record.graph for record in bundle.records("train")]
+    merged = benchmark(lambda: merge_graphs(graphs))
+    assert merged.num_nodes == sum(g.num_nodes for g in graphs)

@@ -1,0 +1,21 @@
+"""Extension: multi-head attention sweep.
+
+The paper used a single attention head ("limited by GPU memory ... we
+expect more attention heads would lead to even better results").  This bench
+sweeps 1/2/4 heads on the CAP model.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_attention_heads
+
+
+def test_ext_attention_heads(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_attention_heads(config, bundle), rounds=1, iterations=1
+    )
+    emit("ext_attention_heads", result.render())
+
+    rows = {row["variant"]: row for row in result.rows}
+    assert set(rows) == {"heads=1", "heads=2", "heads=4"}
+    # all variants must train to something sane
+    assert all(row["r2"] > -0.5 for row in result.rows)

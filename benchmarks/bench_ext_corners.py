@@ -1,0 +1,26 @@
+"""Extension: extraction-corner robustness.
+
+Trains the CAP model on typical-corner ground truth and evaluates against
+cmin/cmax corner ground truth (+-15-20% parasitic coefficient skew).
+Expected shape: accuracy degrades gracefully — MAPE grows by roughly the
+corner skew, R² stays clearly positive.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_corner_robustness
+
+
+def test_ext_corner_robustness(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_corner_robustness(config, bundle),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ext_corners", result.render())
+
+    rows = {row["variant"]: row for row in result.rows}
+    assert rows["typ"]["r2"] > 0.2
+    # corner truth shifts by <=20%; the model must not collapse
+    for name in ("cmin", "cmax"):
+        assert rows[name]["r2"] > rows["typ"]["r2"] - 0.35
+        assert rows[name]["mape"] < rows["typ"]["mape"] + 0.35

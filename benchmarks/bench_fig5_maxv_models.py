@@ -1,0 +1,31 @@
+"""Fig. 5 + SIV: range-clamped CAP models and the Algorithm 2 ensemble.
+
+Trains the max_v = 1 fF / 10 fF / 100 fF models plus the full-range model,
+reports per-decade MAPE for each (the quantitative version of the paper's
+scatter plots) and the combined ensemble row.  Expected shape: the
+full-range model degrades at the small-cap end, each range model is
+strongest inside its own range, and the ensemble has the lowest overall MAE.
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_fig5
+
+
+def test_fig5_maxv_models_and_ensemble(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_fig5(config, bundle), rounds=1, iterations=1
+    )
+    emit("fig5_maxv_models", result.render())
+
+    rows = {row["name"]: row for row in result.model_rows}
+    full = rows["full-range"]
+    low = rows["1fF model"]
+    # paper Fig. 5a: the full-range model is unusable below ~1 fF while the
+    # 1 fF model is accurate there
+    if not np.isnan(full["decade_mape"]["<1fF"]):
+        assert low["decade_mape"]["<1fF"] < full["decade_mape"]["<1fF"]
+    # SIV: ensemble MAE beats every individual model
+    ensemble_mae = result.ensemble_row["mae"]
+    assert ensemble_mae <= min(row["mae"] for row in result.model_rows) * 1.05

@@ -1,0 +1,23 @@
+"""Fig. 7: ParaGraph prediction vs ground truth per target.
+
+Reports R² and MAPE for CAP, LDE1, LDE5 and SA.  Expected shape (paper):
+CAP and SA predict well (MAPE 15.0% and 10.3%), while the LDE parameters
+carry inherent layout uncertainty and predict far worse (MAPE > 100%).
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_fig7
+
+
+def test_fig7_scatter(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_fig7(config, bundle), rounds=1, iterations=1
+    )
+    emit("fig7_scatter", result.render())
+
+    rows = {row["target"]: row for row in result.rows}
+    # shape: the geometric target (SA) is far better predicted than the
+    # placement-dominated LDE parameters
+    assert rows["SA"]["mape"] < rows["LDE5"]["mape"]
+    assert rows["SA"]["r2"] > rows["LDE5"]["r2"]
+    assert rows["CAP"]["r2"] > 0

@@ -1,0 +1,24 @@
+"""Fig. 8: t-SNE of net-node embeddings from the CAP model.
+
+Embeds each test circuit's net nodes (capacitance model, max_v = 10 fF),
+runs t-SNE, and reports the neighbourhood label-agreement statistic — the
+quantitative version of "data points with different colours are well
+separated".  Expected shape: agreement well above 0 on most circuits.
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_fig8
+
+
+def test_fig8_tsne_separation(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_fig8(config, bundle), rounds=1, iterations=1
+    )
+    emit("fig8_tsne", result.render())
+
+    agreements = [row["agreement"] for row in result.rows]
+    assert len(agreements) >= 1
+    # shape: embeddings separate capacitance scales on average
+    assert np.mean(agreements) > 0.05

@@ -1,0 +1,21 @@
+"""Table IV: device/net distribution of the generated circuit dataset.
+
+Regenerates the dataset end-to-end (composition + layout synthesis + graph
+construction) and prints the distribution rows in the paper's format.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import experiment_table4, load_bundle
+
+
+def test_table4_dataset(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: experiment_table4(config, load_bundle(config)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table4_dataset", result.render())
+    # sanity: all 22 circuits present, t4 is the largest (paper shape)
+    assert len(result.rows) == 22
+    nets = {row["circuit"]: row["net"] for row in result.rows}
+    assert nets["t4"] == max(nets[f"t{i}"] for i in range(1, 19))

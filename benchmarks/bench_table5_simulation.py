@@ -1,0 +1,26 @@
+"""Table V: pre-layout simulation errors on 67 circuit metrics.
+
+Simulates the metric suite under four annotation modes — no parasitics,
+designer rule-of-thumb, XGBoost predictions, ParaGraph predictions (the SIV
+ensemble + SA/DA device models) — and compares each against the post-layout
+reference.  Expected shape (paper): ParaGraph's mean and geometric-mean
+errors are the lowest by a wide margin, the designer estimate has the worst
+mean, and ParaGraph moves most metrics into the <10% bin.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.experiments import TABLE5_MODES, experiment_table5
+
+
+def test_table5_simulation_errors(benchmark, config, bundle):
+    result = benchmark.pedantic(
+        lambda: experiment_table5(config, bundle), rounds=1, iterations=1
+    )
+    emit("table5_simulation", result.render())
+
+    # shape: ParaGraph annotation gives the smallest simulation errors
+    assert result.means["paragraph"] == min(result.means[m] for m in TABLE5_MODES)
+    assert result.gmeans["paragraph"] == min(result.gmeans[m] for m in TABLE5_MODES)
+    # and the most metrics in the < 10% bin
+    best_bin = {m: result.histograms[m]["< 10%"] for m in TABLE5_MODES}
+    assert best_bin["paragraph"] == max(best_bin.values())

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Benchmarks are one-shot workloads (model training is the thing being
+measured), so they run with ``rounds=1``.  Every benchmark renders its
+paper-style table through :func:`benchmarks._util.emit`, which both prints
+it (visible with ``pytest -s``) and writes it to
+``benchmarks/results/<name>.txt`` so results survive output capture.
+
+``PARAGRAPH_BENCH_SCALE`` scales dataset size and epochs (default 1.0; use
+e.g. 0.1 for a quick smoke run).
+"""
+
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_ROOT, os.path.join(_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.analysis.experiments import ExperimentConfig, load_bundle  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def bundle(config):
+    """One dataset bundle shared by every benchmark in the session."""
+    return load_bundle(config)

@@ -1,0 +1,12 @@
+"""Pytest root configuration.
+
+Ensures ``src`` layout imports work even when the package has not been
+installed (e.g. offline machines where editable installs are unavailable).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Model interpretability: attention weights and prediction uncertainty.
+
+Two diagnostics on a trained capacitance model:
+
+1. the paper's §III remark that "analyzing the learned attentional weights
+   may also help model interpretability" — print which neighbours each net
+   attends to most;
+2. a seed-ensemble uncertainty estimate — nets where independently seeded
+   models disagree are nets the model does not trust.
+
+Run:  python examples/interpretability.py
+"""
+
+import numpy as np
+
+from repro.data import build_bundle
+from repro.models import SeedEnsemblePredictor, TargetPredictor, TrainConfig
+
+
+def main() -> None:
+    print("building dataset and training (a few minutes)...")
+    bundle = build_bundle(seed=0, scale=0.15)
+    config = TrainConfig(epochs=40, run_seed=0)
+    record = bundle.records("test")[0]
+
+    # --- attention weights -------------------------------------------
+    predictor = TargetPredictor("paragraph", "CAP", config).fit(bundle)
+    rows = predictor.attention_report(record)
+    print(f"\nstrongest first-layer attention edges in {record.name}:")
+    print(f"{'edge type':32s} {'source':24s} {'dest':24s} {'alpha':>6s}")
+    for edge_type, src, dst, alpha in rows[:12]:
+        print(f"{edge_type:32s} {src:24.24s} {dst:24.24s} {alpha:6.3f}")
+
+    # nets whose incoming attention is concentrated (one dominant neighbour)
+    by_dst: dict[str, list[float]] = {}
+    for _, _, dst, alpha in rows:
+        by_dst.setdefault(dst, []).append(alpha)
+    concentrated = sorted(
+        ((dst, max(alphas)) for dst, alphas in by_dst.items() if len(alphas) > 2),
+        key=lambda kv: -kv[1],
+    )[:5]
+    print("\nnodes with the most concentrated attention:")
+    for dst, peak in concentrated:
+        print(f"  {dst}: peak alpha {peak:.3f}")
+
+    # --- uncertainty --------------------------------------------------
+    print("\ntraining a 3-member seed ensemble for uncertainty...")
+    ensemble = SeedEnsemblePredictor(
+        "paragraph", "CAP", config, n_members=3
+    ).fit(bundle)
+    result = ensemble.predict_with_uncertainty(record)
+    rel = result.relative_std()
+    order = np.argsort(-rel)
+    print(f"\nleast trusted predictions in {record.name}:")
+    print(f"{'net':28s} {'mean (fF)':>10s} {'rel. std':>9s}")
+    for k in order[:8]:
+        print(
+            f"{result.names[k]:28.28s} {result.mean[k] * 1e15:10.3f} "
+            f"{100 * rel[k]:8.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

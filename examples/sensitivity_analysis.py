@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Parasitic sensitivity: where does estimation accuracy actually matter?
+
+Ranks an op-amp's nets by how strongly the circuit's bandwidth depends on
+their parasitic capacitance, then shows that the prediction error on the
+few *sensitive* nets — not the average error — controls the simulation
+error.  This is the engineering content behind paper Table V's bins.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro.circuits import devices as dev
+from repro.circuits.generators.analog import two_stage_opamp
+from repro.circuits.netlist import Circuit
+from repro.layout import synthesize_layout
+from repro.sim import (
+    Testbench,
+    cap_sensitivity,
+    compute_metrics,
+    reference_annotations,
+)
+from repro.sim.mna import Annotations
+from repro.units import to_femto
+
+
+def build_bench() -> Testbench:
+    bench = Circuit("tb_opamp")
+    bench.embed(
+        two_stage_opamp(),
+        "dut",
+        {"inp": "in", "inn": "vss", "out": "out", "bias": "bias"},
+    )
+    bench.add_instance(
+        "rload", dev.RESISTOR, {"p": "out", "n": "vss"}, {"L": 2e-6, "R": 50e3}
+    )
+    return Testbench("opamp", bench, "in", "out", ("bandwidth", "dc_gain"))
+
+
+def main() -> None:
+    bench = build_bench()
+    layout = synthesize_layout(bench.circuit, seed=13)
+    reference = reference_annotations(layout)
+
+    ranking = cap_sensitivity(bench, reference, "bandwidth")
+    print("bandwidth sensitivity to each net's capacitance:")
+    print(f"{'net':16s} {'cap':>10s} {'sensitivity':>12s}")
+    for net, sensitivity in ranking:
+        print(
+            f"{net:16s} {to_femto(reference.net_caps[net]):8.2f}fF "
+            f"{sensitivity:12.3f}"
+        )
+
+    baseline = compute_metrics(bench, reference)["bandwidth"]
+    top_net = ranking[0][0]
+    bottom_net = ranking[-1][0]
+    for label, net in (("most", top_net), ("least", bottom_net)):
+        wrong = Annotations(
+            net_caps={**reference.net_caps, net: reference.net_caps[net] * 3},
+            device_areas=reference.device_areas,
+        )
+        value = compute_metrics(bench, wrong)["bandwidth"]
+        err = abs(value - baseline) / baseline
+        print(
+            f"\n3x cap error on the {label} sensitive net ({net}): "
+            f"bandwidth error {100 * err:.1f}%"
+        )
+    print(
+        "\ntakeaway: a predictor only needs to be right on the handful of"
+        "\nsensitive nets - exactly where ParaGraph's structural signal lives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so the package can
+be installed on machines without the ``wheel`` package (where PEP 660
+editable installs are unavailable): ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

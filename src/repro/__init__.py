@@ -1,0 +1,13 @@
+"""repro — reproduction of ParaGraph (DAC 2020).
+
+Layout parasitics and device-parameter prediction from circuit schematics
+using graph neural networks, together with every substrate the paper relies
+on: netlist generators, a layout synthesizer that provides ground truth, a
+from-scratch autodiff/GNN stack, classical ML baselines, an ensemble
+predictor, and an MNA circuit simulator for end-to-end evaluation.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"

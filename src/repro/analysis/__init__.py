@@ -1,0 +1,32 @@
+"""Analysis utilities: metrics, t-SNE, tables, experiment drivers."""
+
+from repro.analysis.breakdown import (
+    ErrorBreakdown,
+    breakdown_for_predictor,
+    error_breakdown,
+)
+from repro.analysis.runs import RunStatistics, aggregate_runs
+from repro.analysis.metrics import (
+    ERROR_BIN_LABELS,
+    error_range_histogram,
+    geometric_mean_error,
+    mae,
+    mape,
+    r_squared,
+    summarize,
+)
+
+__all__ = [
+    "ErrorBreakdown",
+    "breakdown_for_predictor",
+    "error_breakdown",
+    "RunStatistics",
+    "aggregate_runs",
+    "ERROR_BIN_LABELS",
+    "error_range_histogram",
+    "geometric_mean_error",
+    "mae",
+    "mape",
+    "r_squared",
+    "summarize",
+]

@@ -1,0 +1,72 @@
+"""CSV export of figure data.
+
+The paper's Figures 5, 7 and 8 are scatter plots; this library has no
+plotting dependency, so the drivers export the underlying points as CSV for
+external plotting (gnuplot, matplotlib, spreadsheets).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def export_scatter(
+    path: str | os.PathLike,
+    truth: np.ndarray,
+    prediction: np.ndarray,
+    label: str = "value",
+) -> None:
+    """Write (ground truth, prediction) pairs as CSV for a Fig. 5/7 plot."""
+    truth = np.asarray(truth).ravel()
+    prediction = np.asarray(prediction).ravel()
+    if truth.shape != prediction.shape:
+        raise ReproError("truth/prediction length mismatch")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"truth_{label}", f"predicted_{label}"])
+        for t, p in zip(truth, prediction):
+            writer.writerow([repr(float(t)), repr(float(p))])
+
+
+def export_embedding(
+    path: str | os.PathLike,
+    coords: np.ndarray,
+    labels: np.ndarray,
+    names: Sequence[str] | None = None,
+) -> None:
+    """Write 2-D t-SNE coordinates + colour labels as CSV (Fig. 8)."""
+    coords = np.asarray(coords)
+    labels = np.asarray(labels).ravel()
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ReproError("coords must be (n, 2)")
+    if len(coords) != len(labels):
+        raise ReproError("coords/labels length mismatch")
+    if names is not None and len(names) != len(labels):
+        raise ReproError("names length mismatch")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", "label"] + (["name"] if names is not None else []))
+        for i in range(len(labels)):
+            row = [repr(float(coords[i, 0])), repr(float(coords[i, 1])),
+                   repr(float(labels[i]))]
+            if names is not None:
+                row.append(names[i])
+            writer.writerow(row)
+
+
+def read_scatter(path: str | os.PathLike) -> tuple[np.ndarray, np.ndarray]:
+    """Read back a scatter CSV written by :func:`export_scatter`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader)  # header
+        rows = [(float(a), float(b)) for a, b in reader]
+    if not rows:
+        return np.empty(0), np.empty(0)
+    truth, prediction = zip(*rows)
+    return np.asarray(truth), np.asarray(prediction)

@@ -1,0 +1,87 @@
+"""Prediction-quality metrics: R², MAE, MAPE, error-range histograms.
+
+These are the three statistical measurements of paper §V plus the Table V
+error-range binning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ReproError(
+            f"metric inputs disagree: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ReproError("metric inputs are empty")
+    return y_true, y_pred
+
+
+def r_squared(y_true, y_pred) -> float:
+    """Coefficient of determination (1 is perfect; can be negative)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def mape(y_true, y_pred, eps: float = 0.0) -> float:
+    """Mean absolute percentage error, as a fraction (0.15 = 15%).
+
+    ``eps`` guards against division by zero for targets that may be 0.
+    """
+    y_true, y_pred = _pair(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    if (denom == 0).any():
+        raise ReproError("mape undefined: zero ground-truth values (set eps)")
+    return float((np.abs(y_true - y_pred) / denom).mean())
+
+
+#: Table V error-range bin edges (fractions).
+ERROR_BINS = (0.10, 0.20, 0.30, 0.40, 0.50)
+ERROR_BIN_LABELS = ("< 10%", "10%-20%", "20%-30%", "30%-40%", "40%-50%", "> 50%")
+
+
+def error_range_histogram(relative_errors) -> dict[str, int]:
+    """Bin absolute relative errors into the paper's Table V ranges."""
+    errors = np.abs(np.asarray(relative_errors, dtype=np.float64).ravel())
+    counts = dict.fromkeys(ERROR_BIN_LABELS, 0)
+    for err in errors:
+        for edge, label in zip(ERROR_BINS, ERROR_BIN_LABELS):
+            if err < edge:
+                counts[label] += 1
+                break
+        else:
+            counts["> 50%"] += 1
+    return counts
+
+
+def geometric_mean_error(relative_errors, floor: float = 1e-6) -> float:
+    """Geometric mean of absolute relative errors (Table V bottom row)."""
+    errors = np.maximum(np.abs(np.asarray(relative_errors, dtype=np.float64)), floor)
+    if errors.size == 0:
+        raise ReproError("geometric mean of empty error list")
+    return float(np.exp(np.log(errors).mean()))
+
+
+def summarize(y_true, y_pred, mape_eps: float = 0.0) -> dict[str, float]:
+    """R²/MAE/MAPE in one call."""
+    return {
+        "r2": r_squared(y_true, y_pred),
+        "mae": mae(y_true, y_pred),
+        "mape": mape(y_true, y_pred, eps=mape_eps),
+    }

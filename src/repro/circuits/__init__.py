@@ -1,0 +1,49 @@
+"""Circuit netlists: device taxonomy, netlist model, SPICE I/O, generators."""
+
+from repro.circuits.devices import (
+    BJT,
+    CAPACITOR,
+    DEVICE_SPECS,
+    DEVICE_TYPES,
+    DIODE,
+    NET,
+    NMOS,
+    NODE_TYPES,
+    PMOS,
+    RESISTOR,
+    TRANSISTOR,
+    TRANSISTOR_THICKGATE,
+    DeviceSpec,
+    is_mos,
+    spec_for,
+    terminal_edge_types,
+)
+from repro.circuits.netlist import Circuit, Instance, Net, is_supply_name
+from repro.circuits.spice import read_spice, write_spice
+from repro.circuits.validate import validate_circuit
+
+__all__ = [
+    "BJT",
+    "CAPACITOR",
+    "DEVICE_SPECS",
+    "DEVICE_TYPES",
+    "DIODE",
+    "NET",
+    "NMOS",
+    "NODE_TYPES",
+    "PMOS",
+    "RESISTOR",
+    "TRANSISTOR",
+    "TRANSISTOR_THICKGATE",
+    "DeviceSpec",
+    "is_mos",
+    "spec_for",
+    "terminal_edge_types",
+    "Circuit",
+    "Instance",
+    "Net",
+    "is_supply_name",
+    "read_spice",
+    "write_spice",
+    "validate_circuit",
+]

@@ -1,0 +1,146 @@
+"""Device registry: types, terminals and schematic features.
+
+This module is the single source of truth for the device taxonomy of paper
+Tables I and II:
+
+* node types ``{transistor, transistor_thickgate, resistor, capacitor,
+  diode, bjt, net}``,
+* terminal names per device (which become the heterogeneous edge types),
+* the schematic input features per device type (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+
+# Canonical device-type names (graph node types, except NET which is its own
+# node type added during graph construction).
+TRANSISTOR = "transistor"
+TRANSISTOR_THICKGATE = "transistor_thickgate"
+RESISTOR = "resistor"
+CAPACITOR = "capacitor"
+DIODE = "diode"
+BJT = "bjt"
+NET = "net"
+
+#: Device types in canonical report order (matches paper Table IV columns).
+DEVICE_TYPES = (
+    TRANSISTOR,
+    TRANSISTOR_THICKGATE,
+    RESISTOR,
+    CAPACITOR,
+    BJT,
+    DIODE,
+)
+
+#: All graph node types (devices + nets).
+NODE_TYPES = (*DEVICE_TYPES, NET)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a device type.
+
+    Attributes
+    ----------
+    name:
+        Canonical type name (one of :data:`DEVICE_TYPES`).
+    terminals:
+        Ordered terminal names; these become edge types
+        (``net -> transistor_gate`` etc.).
+    features:
+        Schematic feature names from paper Table II, in feature-vector order.
+    default_params:
+        Defaults applied when an instance omits a parameter.
+    spice_letter:
+        Leading letter of the SPICE element card (``M``, ``R``, ``C`` ...).
+    """
+
+    name: str
+    terminals: tuple[str, ...]
+    features: tuple[str, ...]
+    default_params: dict[str, float] = field(default_factory=dict)
+    spice_letter: str = "X"
+
+    def feature_vector(self, params: dict[str, float]) -> list[float]:
+        """Extract this device's Table-II feature vector from *params*."""
+        merged = {**self.default_params, **params}
+        try:
+            return [float(merged[name]) for name in self.features]
+        except KeyError as exc:
+            raise NetlistError(
+                f"device type {self.name!r} missing feature {exc.args[0]!r}"
+            ) from None
+
+
+#: Registry of all device specs, keyed by canonical type name.
+DEVICE_SPECS: dict[str, DeviceSpec] = {
+    TRANSISTOR: DeviceSpec(
+        name=TRANSISTOR,
+        terminals=("drain", "gate", "source", "bulk"),
+        features=("L", "NF", "NFIN", "MULTI"),
+        default_params={"L": 16e-9, "NF": 1.0, "NFIN": 2.0, "MULTI": 1.0},
+        spice_letter="M",
+    ),
+    TRANSISTOR_THICKGATE: DeviceSpec(
+        name=TRANSISTOR_THICKGATE,
+        terminals=("drain", "gate", "source", "bulk"),
+        features=("L", "NF", "NFIN", "MULTI"),
+        default_params={"L": 150e-9, "NF": 1.0, "NFIN": 2.0, "MULTI": 1.0},
+        spice_letter="M",
+    ),
+    RESISTOR: DeviceSpec(
+        name=RESISTOR,
+        terminals=("p", "n"),
+        features=("L",),
+        default_params={"L": 1e-6},
+        spice_letter="R",
+    ),
+    CAPACITOR: DeviceSpec(
+        name=CAPACITOR,
+        terminals=("p", "n"),
+        features=("MULTI",),
+        default_params={"MULTI": 1.0},
+        spice_letter="C",
+    ),
+    DIODE: DeviceSpec(
+        name=DIODE,
+        terminals=("p", "n"),
+        features=("NF",),
+        default_params={"NF": 1.0},
+        spice_letter="D",
+    ),
+    BJT: DeviceSpec(
+        name=BJT,
+        terminals=("c", "b", "e"),
+        features=("ONE",),
+        default_params={"ONE": 1.0},
+        spice_letter="Q",
+    ),
+}
+
+#: Transistor polarity parameter value conventions ("TYPE": +1 NMOS, -1 PMOS).
+NMOS, PMOS = 1.0, -1.0
+
+
+def spec_for(device_type: str) -> DeviceSpec:
+    """Look up the :class:`DeviceSpec` for a canonical type name."""
+    try:
+        return DEVICE_SPECS[device_type]
+    except KeyError:
+        raise NetlistError(
+            f"unknown device type {device_type!r}; known: {sorted(DEVICE_SPECS)}"
+        ) from None
+
+
+def is_mos(device_type: str) -> bool:
+    """True for thin- or thick-gate MOSFETs."""
+    return device_type in (TRANSISTOR, TRANSISTOR_THICKGATE)
+
+
+def terminal_edge_types(device_type: str) -> list[str]:
+    """Edge-type labels contributed by a device type (``transistor_gate`` ...)."""
+    spec = spec_for(device_type)
+    return [f"{spec.name}_{terminal}" for terminal in spec.terminals]

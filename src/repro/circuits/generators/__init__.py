@@ -1,0 +1,27 @@
+"""Parametric schematic generators and the dataset composer."""
+
+from repro.circuits.generators import analog, chip, digital, mixed, primitives
+from repro.circuits.generators.chip import (
+    BLOCK_FAMILIES,
+    TEST_RECIPES,
+    TRAIN_RECIPES,
+    ChipRecipe,
+    build_dataset,
+    compose_chip,
+    table4_rows,
+)
+
+__all__ = [
+    "analog",
+    "chip",
+    "digital",
+    "mixed",
+    "primitives",
+    "BLOCK_FAMILIES",
+    "TEST_RECIPES",
+    "TRAIN_RECIPES",
+    "ChipRecipe",
+    "build_dataset",
+    "compose_chip",
+    "table4_rows",
+]

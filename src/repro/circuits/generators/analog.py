@@ -1,0 +1,465 @@
+"""Analog block generators: mirrors, pairs, op-amps, regulators, references.
+
+These blocks provide the recurring analog structures the paper's Figure 1
+motivates: the same op-amp topology reused in regulation and amplification
+roles, current mirrors with many outputs, comparators, bandgaps.  All are
+plain flat netlists with explicit device sizing.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.generators.primitives import (
+    DEFAULT_L,
+    DEFAULT_L_THICK,
+    _mos_params,
+    inverter,
+)
+from repro.circuits.netlist import Circuit
+
+
+def current_mirror(
+    n_outputs: int = 2,
+    nfin: float = 4,
+    nf: float = 2,
+    ratios: list[float] | None = None,
+    polarity: float = dev.NMOS,
+    length: float = 4 * DEFAULT_L,
+    name: str = "cmirror",
+) -> Circuit:
+    """N-output current mirror.  Ports: ``iin``, ``iout0..``.
+
+    All gates share one net (high-fanout net for the CAP model); outputs can
+    be ratioed via *ratios* (NFIN multipliers).
+    """
+    if n_outputs < 1:
+        raise ValueError("current mirror needs at least one output")
+    ratios = ratios or [1.0] * n_outputs
+    if len(ratios) != n_outputs:
+        raise ValueError("ratios length must equal n_outputs")
+    rail = "vss" if polarity == dev.NMOS else "vdd"
+    ports = ["iin"] + [f"iout{i}" for i in range(n_outputs)]
+    c = Circuit(name, ports=ports)
+    c.add_instance(
+        "mdiode", dev.TRANSISTOR,
+        {"drain": "iin", "gate": "iin", "source": rail, "bulk": rail},
+        _mos_params(polarity, nfin, nf, length),
+    )
+    for i, ratio in enumerate(ratios):
+        c.add_instance(
+            f"mout{i}", dev.TRANSISTOR,
+            {"drain": f"iout{i}", "gate": "iin", "source": rail, "bulk": rail},
+            _mos_params(polarity, max(1, round(nfin * ratio)), nf, length),
+        )
+    return c
+
+
+def diff_pair(
+    nfin: float = 8,
+    nf: float = 2,
+    tail_nfin: float = 8,
+    length: float = 2 * DEFAULT_L,
+    name: str = "diffpair",
+) -> Circuit:
+    """NMOS differential pair with tail device.
+
+    Ports: ``inp``, ``inn``, ``outp``, ``outn``, ``bias``.
+    """
+    c = Circuit(name, ports=["inp", "inn", "outp", "outn", "bias"])
+    c.add_instance(
+        "m1", dev.TRANSISTOR,
+        {"drain": "outn", "gate": "inp", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin, nf, length),
+    )
+    c.add_instance(
+        "m2", dev.TRANSISTOR,
+        {"drain": "outp", "gate": "inn", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin, nf, length),
+    )
+    c.add_instance(
+        "mtail", dev.TRANSISTOR,
+        {"drain": "tail", "gate": "bias", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, tail_nfin, nf, 4 * DEFAULT_L),
+    )
+    return c
+
+
+def ota_5t(
+    nfin_in: float = 8,
+    nfin_load: float = 4,
+    nfin_tail: float = 8,
+    nf: float = 2,
+    name: str = "ota5t",
+) -> Circuit:
+    """Five-transistor OTA (Figure 1's op-amp).  Ports: ``inp``, ``inn``, ``out``, ``bias``."""
+    c = Circuit(name, ports=["inp", "inn", "out", "bias"])
+    c.add_instance(
+        "min_p", dev.TRANSISTOR,
+        {"drain": "x", "gate": "inp", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "min_n", dev.TRANSISTOR,
+        {"drain": "out", "gate": "inn", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mld_a", dev.TRANSISTOR,
+        {"drain": "x", "gate": "x", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_load, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mld_b", dev.TRANSISTOR,
+        {"drain": "out", "gate": "x", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_load, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mtail", dev.TRANSISTOR,
+        {"drain": "tail", "gate": "bias", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_tail, nf, 4 * DEFAULT_L),
+    )
+    return c
+
+
+def two_stage_opamp(
+    nfin_in: float = 8,
+    nfin_out: float = 16,
+    nf: float = 2,
+    comp_cap_multi: float = 4,
+    name: str = "opamp2",
+) -> Circuit:
+    """Two-stage Miller-compensated op-amp.
+
+    Ports: ``inp``, ``inn``, ``out``, ``bias``.  Includes the compensation
+    capacitor and zero-nulling resistor (passive devices for the dataset).
+    """
+    c = Circuit(name, ports=["inp", "inn", "out", "bias"])
+    c.embed(
+        ota_5t(nfin_in=nfin_in, nfin_load=nfin_in // 2 or 1, nf=nf),
+        "stg1",
+        {"inp": "inp", "inn": "inn", "out": "s1out", "bias": "bias"},
+    )
+    c.add_instance(
+        "mout_p", dev.TRANSISTOR,
+        {"drain": "out", "gate": "s1out", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_out, nf, DEFAULT_L),
+    )
+    c.add_instance(
+        "mout_n", dev.TRANSISTOR,
+        {"drain": "out", "gate": "bias", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_out // 2 or 1, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "rz", dev.RESISTOR, {"p": "s1out", "n": "cz"},
+        {"L": 2e-6, "R": 2e3},
+    )
+    c.add_instance(
+        "cc", dev.CAPACITOR, {"p": "cz", "n": "out"},
+        {"MULTI": comp_cap_multi, "C": comp_cap_multi * 25e-15},
+    )
+    return c
+
+
+def strongarm_comparator(
+    nfin_in: float = 8, nfin_latch: float = 4, nf: float = 1, name: str = "comp"
+) -> Circuit:
+    """StrongARM latched comparator.
+
+    Ports: ``inp``, ``inn``, ``clk``, ``outp``, ``outn``.
+    """
+    c = Circuit(name, ports=["inp", "inn", "clk", "outp", "outn"])
+    c.add_instance(
+        "mtail", dev.TRANSISTOR,
+        {"drain": "tail", "gate": "clk", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf),
+    )
+    c.add_instance(
+        "min_p", dev.TRANSISTOR,
+        {"drain": "dn", "gate": "inp", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf),
+    )
+    c.add_instance(
+        "min_n", dev.TRANSISTOR,
+        {"drain": "dp", "gate": "inn", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf),
+    )
+    # cross-coupled latch
+    c.add_instance(
+        "mxn_p", dev.TRANSISTOR,
+        {"drain": "outp", "gate": "outn", "source": "dp", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_latch, nf),
+    )
+    c.add_instance(
+        "mxn_n", dev.TRANSISTOR,
+        {"drain": "outn", "gate": "outp", "source": "dn", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_latch, nf),
+    )
+    c.add_instance(
+        "mxp_p", dev.TRANSISTOR,
+        {"drain": "outp", "gate": "outn", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_latch, nf),
+    )
+    c.add_instance(
+        "mxp_n", dev.TRANSISTOR,
+        {"drain": "outn", "gate": "outp", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_latch, nf),
+    )
+    # reset devices
+    for node, inst in (("outp", "mrst_a"), ("outn", "mrst_b"), ("dp", "mrst_c"), ("dn", "mrst_d")):
+        c.add_instance(
+            inst, dev.TRANSISTOR,
+            {"drain": node, "gate": "clk", "source": "vdd", "bulk": "vdd"},
+            _mos_params(dev.PMOS, 2, 1),
+        )
+    return c
+
+
+def bandgap_reference(n_ratio: int = 8, name: str = "bandgap") -> Circuit:
+    """BJT-based bandgap reference with op-amp loop.
+
+    Ports: ``vref``, ``bias``.  Exercises BJTs and resistors in the dataset.
+    """
+    c = Circuit(name, ports=["vref", "bias"])
+    c.embed(
+        ota_5t(nfin_in=4, nfin_load=2, nfin_tail=4),
+        "amp",
+        {"inp": "va", "inn": "vb", "out": "vctl", "bias": "bias"},
+    )
+    for i, node in enumerate(("va", "vb", "vref")):
+        c.add_instance(
+            f"mp{i}", dev.TRANSISTOR,
+            {"drain": node, "gate": "vctl", "source": "vdd", "bulk": "vdd"},
+            _mos_params(dev.PMOS, 4, 2, 4 * DEFAULT_L),
+        )
+    c.add_instance("q1", dev.BJT, {"c": "vss", "b": "vss", "e": "va"}, {"POLARITY": -1.0})
+    for i in range(n_ratio):
+        c.add_instance(
+            f"q2_{i}", dev.BJT, {"c": "vss", "b": "vss", "e": "vbe2"}, {"POLARITY": -1.0}
+        )
+    c.add_instance("r1", dev.RESISTOR, {"p": "vb", "n": "vbe2"}, {"L": 5e-6, "R": 20e3})
+    c.add_instance("r2", dev.RESISTOR, {"p": "vref", "n": "vtap"}, {"L": 8e-6, "R": 80e3})
+    c.add_instance("r3", dev.RESISTOR, {"p": "vtap", "n": "vss"}, {"L": 8e-6, "R": 80e3})
+    c.add_instance("q3", dev.BJT, {"c": "vss", "b": "vss", "e": "vtap"}, {"POLARITY": -1.0})
+    return c
+
+
+def ldo_regulator(
+    pass_nfin: float = 64, nf: float = 4, load_cap_multi: float = 8, name: str = "ldo"
+) -> Circuit:
+    """LDO: error amplifier + thick-gate pass device + feedback divider.
+
+    Ports: ``vref``, ``vreg``, ``bias``.  The wide pass device and its large
+    gate net produce the biggest parasitics in the dataset, mirroring the
+    paper's observation that large-cap nets are floorplan-dominated.
+    """
+    c = Circuit(name, ports=["vref", "vreg", "bias"])
+    c.embed(
+        ota_5t(nfin_in=6, nfin_load=3, nfin_tail=6),
+        "err",
+        {"inp": "vref", "inn": "fb", "out": "gdrv", "bias": "bias"},
+    )
+    c.add_instance(
+        "mpass", dev.TRANSISTOR_THICKGATE,
+        {"drain": "vreg", "gate": "gdrv", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, pass_nfin, nf, DEFAULT_L_THICK),
+    )
+    c.add_instance("rfb1", dev.RESISTOR, {"p": "vreg", "n": "fb"}, {"L": 10e-6, "R": 100e3})
+    c.add_instance("rfb2", dev.RESISTOR, {"p": "fb", "n": "vss"}, {"L": 10e-6, "R": 100e3})
+    c.add_instance(
+        "cload", dev.CAPACITOR, {"p": "vreg", "n": "vss"},
+        {"MULTI": load_cap_multi, "C": load_cap_multi * 100e-15},
+    )
+    return c
+
+
+def rc_filter(stages: int = 2, name: str = "rcfilt") -> Circuit:
+    """RC low-pass ladder.  Ports: ``in``, ``out``."""
+    if stages < 1:
+        raise ValueError("rc_filter needs at least one stage")
+    c = Circuit(name, ports=["in", "out"])
+    node = "in"
+    for i in range(stages):
+        out = "out" if i == stages - 1 else f"n{i}"
+        c.add_instance(
+            f"r{i}", dev.RESISTOR, {"p": node, "n": out}, {"L": 4e-6, "R": 10e3}
+        )
+        c.add_instance(
+            f"c{i}", dev.CAPACITOR, {"p": out, "n": "vss"}, {"MULTI": 2, "C": 50e-15}
+        )
+        node = out
+    return c
+
+
+def source_follower(nfin: float = 8, nf: float = 2, name: str = "srcfol") -> Circuit:
+    """NMOS source follower with current-source load.  Ports: ``in``, ``out``, ``bias``."""
+    c = Circuit(name, ports=["in", "out", "bias"])
+    c.add_instance(
+        "mfol", dev.TRANSISTOR,
+        {"drain": "vdd", "gate": "in", "source": "out", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mload", dev.TRANSISTOR,
+        {"drain": "out", "gate": "bias", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin // 2 or 1, nf, 4 * DEFAULT_L),
+    )
+    return c
+
+
+def folded_cascode_ota(
+    nfin_in: float = 8,
+    nfin_cascode: float = 4,
+    nf: float = 2,
+    name: str = "foldedcas",
+) -> Circuit:
+    """Folded-cascode OTA (single-ended output).
+
+    Ports: ``inp``, ``inn``, ``out``, ``bias``, ``biasc``.  Adds deep series
+    stacks (cascodes) — rich MTS structure for the layout targets.
+    """
+    c = Circuit(name, ports=["inp", "inn", "out", "bias", "biasc"])
+    # input pair
+    c.add_instance(
+        "min_p", dev.TRANSISTOR,
+        {"drain": "fp", "gate": "inp", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "min_n", dev.TRANSISTOR,
+        {"drain": "fn", "gate": "inn", "source": "tail", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mtail", dev.TRANSISTOR,
+        {"drain": "tail", "gate": "bias", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_in, nf, 4 * DEFAULT_L),
+    )
+    # folding current sources + PMOS cascodes
+    for node, suffix in (("fp", "a"), ("fn", "b")):
+        c.add_instance(
+            f"msrc_{suffix}", dev.TRANSISTOR,
+            {"drain": node, "gate": "bias", "source": "vdd", "bulk": "vdd"},
+            _mos_params(dev.PMOS, 2 * nfin_cascode, nf, 4 * DEFAULT_L),
+        )
+    out_x = {"a": "x", "b": "out"}
+    for suffix, fold in (("a", "fp"), ("b", "fn")):
+        c.add_instance(
+            f"mcas_{suffix}", dev.TRANSISTOR,
+            {"drain": out_x[suffix], "gate": "biasc", "source": fold, "bulk": "vdd"},
+            _mos_params(dev.PMOS, nfin_cascode, nf, 2 * DEFAULT_L),
+        )
+    # NMOS cascode mirror load
+    c.add_instance(
+        "mld_casa", dev.TRANSISTOR,
+        {"drain": "x", "gate": "biasc", "source": "la", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_cascode, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mld_casb", dev.TRANSISTOR,
+        {"drain": "out", "gate": "biasc", "source": "lb", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_cascode, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mld_a", dev.TRANSISTOR,
+        {"drain": "la", "gate": "x", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_cascode, nf, 2 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mld_b", dev.TRANSISTOR,
+        {"drain": "lb", "gate": "x", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_cascode, nf, 2 * DEFAULT_L),
+    )
+    return c
+
+
+def current_starved_vco(
+    stages: int = 5, nfin: float = 2, name: str = "vco"
+) -> Circuit:
+    """Current-starved ring VCO.  Ports: ``vctl``, ``out``.
+
+    Raises
+    ------
+    ValueError
+        If *stages* is even or < 3.
+    """
+    if stages < 3 or stages % 2 == 0:
+        raise ValueError("VCO ring needs an odd stage count >= 3")
+    c = Circuit(name, ports=["vctl", "out"])
+    c.add_instance(
+        "mbias_n", dev.TRANSISTOR,
+        {"drain": "nbias", "gate": "vctl", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, 2 * nfin, 1, 4 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mbias_p", dev.TRANSISTOR,
+        {"drain": "nbias", "gate": "nbias", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, 2 * nfin, 1, 4 * DEFAULT_L),
+    )
+    node = "ring0"
+    for i in range(stages):
+        nxt = "ring0" if i == stages - 1 else f"ring{i + 1}"
+        c.add_instance(
+            f"mst_p{i}", dev.TRANSISTOR,
+            {"drain": f"sp{i}", "gate": "nbias", "source": "vdd", "bulk": "vdd"},
+            _mos_params(dev.PMOS, nfin, 1, 2 * DEFAULT_L),
+        )
+        c.add_instance(
+            f"minv_p{i}", dev.TRANSISTOR,
+            {"drain": nxt, "gate": node, "source": f"sp{i}", "bulk": "vdd"},
+            _mos_params(dev.PMOS, 2 * nfin, 1),
+        )
+        c.add_instance(
+            f"minv_n{i}", dev.TRANSISTOR,
+            {"drain": nxt, "gate": node, "source": f"sn{i}", "bulk": "vss"},
+            _mos_params(dev.NMOS, nfin, 1),
+        )
+        c.add_instance(
+            f"mst_n{i}", dev.TRANSISTOR,
+            {"drain": f"sn{i}", "gate": "vctl", "source": "vss", "bulk": "vss"},
+            _mos_params(dev.NMOS, nfin, 1, 2 * DEFAULT_L),
+        )
+        node = nxt
+    c.embed(inverter(nfin, 2 * nfin), "obuf", {"a": "ring0", "y": "out"})
+    return c
+
+
+def bias_network(n_branches: int = 3, name: str = "biasnet") -> Circuit:
+    """Beta-multiplier style bias generator with mirrored branches.
+
+    Ports: ``bias0..biasN-1``.
+    """
+    ports = [f"bias{i}" for i in range(n_branches)]
+    c = Circuit(name, ports=ports)
+    c.add_instance(
+        "mref_p", dev.TRANSISTOR,
+        {"drain": "nref", "gate": "pref", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, 4, 2, 4 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mref_n", dev.TRANSISTOR,
+        {"drain": "nref", "gate": "nref", "source": "rsrc", "bulk": "vss"},
+        _mos_params(dev.NMOS, 8, 2, 4 * DEFAULT_L),
+    )
+    c.add_instance("rsrc", dev.RESISTOR, {"p": "rsrc", "n": "vss"}, {"L": 6e-6, "R": 50e3})
+    c.add_instance(
+        "mmir_p", dev.TRANSISTOR,
+        {"drain": "pref", "gate": "pref", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, 4, 2, 4 * DEFAULT_L),
+    )
+    c.add_instance(
+        "mmir_n", dev.TRANSISTOR,
+        {"drain": "pref", "gate": "nref", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, 8, 2, 4 * DEFAULT_L),
+    )
+    for i in range(n_branches):
+        c.add_instance(
+            f"mbr{i}", dev.TRANSISTOR,
+            {"drain": f"bias{i}", "gate": "nref", "source": "vss", "bulk": "vss"},
+            _mos_params(dev.NMOS, 4 + 2 * i, 2, 4 * DEFAULT_L),
+        )
+        c.add_instance(
+            f"mdio{i}", dev.TRANSISTOR,
+            {"drain": f"bias{i}", "gate": f"bias{i}", "source": "vdd", "bulk": "vdd"},
+            _mos_params(dev.PMOS, 4, 2, 4 * DEFAULT_L),
+        )
+    return c

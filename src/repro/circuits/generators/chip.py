@@ -1,0 +1,364 @@
+"""Dataset composer: assembles Table IV-shaped circuits from generator blocks.
+
+The paper trains on 18 industrial circuits (t1-t18) and tests on 4 (e1-e4),
+with the device/net distribution of Table IV.  This module builds an analogous
+dataset from the block generators, scaled down so that pure-Python training is
+practical, while preserving the qualitative row shapes:
+
+* tiny analog-only rows (t1),
+* thick-gate-dominated rows with passives (t2, t3, t11, t17),
+* large digital rows (t4, t5, t10, t13, t16),
+* thick-gate-only rows (t8, t9),
+* BJT-carrying rows (t7, t11, t15, t17).
+
+Test circuits (e1-e4) draw from a *disjoint* parameterization ("variant B")
+of the block families — mirroring the paper's designer-recommended split in
+which test circuits are "completely different than those in the training set".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import analog, digital, mixed
+from repro.circuits.generators.primitives import DEFAULT_L_THICK, _mos_params
+from repro.circuits.netlist import Circuit
+from repro.rng import SeedSequenceNamer
+
+BlockFactory = Callable[[np.random.Generator, bool], Circuit]
+
+
+def _thick_inverter_chain(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    """Chain of thick-gate inverters (t8/t9-style content)."""
+    stages = int(rng.integers(3, 7)) if not test_variant else int(rng.integers(7, 11))
+    c = Circuit("thickchain", ports=["in", "out"])
+    node = "in"
+    for i in range(stages):
+        out = "out" if i == stages - 1 else f"n{i}"
+        nfin = int(rng.integers(2, 8))
+        c.add_instance(
+            f"mp{i}", dev.TRANSISTOR_THICKGATE,
+            {"drain": out, "gate": node, "source": "vddio", "bulk": "vddio"},
+            _mos_params(dev.PMOS, 2 * nfin, 1, DEFAULT_L_THICK),
+        )
+        c.add_instance(
+            f"mn{i}", dev.TRANSISTOR_THICKGATE,
+            {"drain": out, "gate": node, "source": "vss", "bulk": "vss"},
+            _mos_params(dev.NMOS, nfin, 1, DEFAULT_L_THICK),
+        )
+        node = out
+    return c
+
+
+def _opamp(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    if test_variant:
+        return analog.two_stage_opamp(
+            nfin_in=int(rng.integers(10, 16)),
+            nfin_out=int(rng.integers(20, 32)),
+            nf=int(rng.integers(1, 3)),
+            comp_cap_multi=int(rng.integers(2, 5)),
+        )
+    return analog.two_stage_opamp(
+        nfin_in=int(rng.integers(4, 10)),
+        nfin_out=int(rng.integers(8, 20)),
+        nf=int(rng.integers(1, 4)),
+        comp_cap_multi=int(rng.integers(2, 8)),
+    )
+
+
+def _ota(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    lo, hi = (10, 18) if test_variant else (3, 10)
+    return analog.ota_5t(
+        nfin_in=int(rng.integers(lo, hi)),
+        nfin_load=int(rng.integers(2, 8)),
+        nfin_tail=int(rng.integers(lo, hi)),
+        nf=int(rng.integers(1, 4)),
+    )
+
+
+def _mirror(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    n_out = int(rng.integers(4, 8)) if test_variant else int(rng.integers(1, 5))
+    return analog.current_mirror(
+        n_outputs=n_out,
+        nfin=int(rng.integers(2, 10)),
+        nf=int(rng.integers(1, 4)),
+        polarity=dev.NMOS if rng.random() < 0.5 else dev.PMOS,
+    )
+
+
+def _diffpair(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    lo, hi = (10, 20) if test_variant else (4, 12)
+    return analog.diff_pair(nfin=int(rng.integers(lo, hi)), nf=int(rng.integers(1, 4)))
+
+
+def _comparator(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    lo, hi = (10, 16) if test_variant else (4, 10)
+    return analog.strongarm_comparator(
+        nfin_in=int(rng.integers(lo, hi)), nfin_latch=int(rng.integers(2, 8))
+    )
+
+
+def _biasnet(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    branches = int(rng.integers(4, 7)) if test_variant else int(rng.integers(2, 5))
+    return analog.bias_network(n_branches=branches)
+
+
+def _ldo(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    lo, hi = (80, 128) if test_variant else (32, 80)
+    return analog.ldo_regulator(
+        pass_nfin=int(rng.integers(lo, hi)),
+        nf=int(rng.integers(2, 6)),
+        load_cap_multi=int(rng.integers(4, 12)),
+    )
+
+
+def _bandgap(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    return analog.bandgap_reference(n_ratio=int(rng.integers(4, 12)))
+
+
+def _rcfilter(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    stages = int(rng.integers(3, 6)) if test_variant else int(rng.integers(1, 4))
+    return analog.rc_filter(stages=stages)
+
+
+def _srcfol(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    return analog.source_follower(nfin=int(rng.integers(4, 16)), nf=int(rng.integers(1, 4)))
+
+
+def _invchain(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    if test_variant:
+        return digital.inverter_chain(
+            stages=int(rng.integers(10, 16)),
+            nfin_n=int(rng.integers(1, 3)),
+            nfin_p=int(rng.integers(2, 6)),
+            taper=float(rng.choice([1.0, 1.3])),
+        )
+    return digital.inverter_chain(
+        stages=int(rng.integers(3, 10)),
+        nfin_n=int(rng.integers(1, 4)),
+        nfin_p=int(rng.integers(2, 8)),
+        taper=float(rng.choice([1.0, 1.5, 2.0])),
+    )
+
+
+def _ringosc(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    stages = int(rng.choice([9, 11, 13])) if test_variant else int(rng.choice([3, 5, 7]))
+    return digital.ring_oscillator(stages=stages)
+
+
+def _sram(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    if test_variant:
+        return digital.sram_array(rows=int(rng.integers(5, 8)), cols=int(rng.integers(2, 4)))
+    return digital.sram_array(rows=int(rng.integers(2, 5)), cols=int(rng.integers(2, 5)))
+
+
+def _nandtree(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    depth = int(rng.integers(3, 5)) if test_variant else int(rng.integers(1, 4))
+    return digital.nand_tree(depth=depth)
+
+
+def _muxtree(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    return digital.mux_tree(depth=int(rng.integers(1, 4)))
+
+
+def _clktree(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    if test_variant:
+        return digital.clock_tree(fanout=3, depth=2)
+    return digital.clock_tree(fanout=2, depth=int(rng.integers(1, 4)))
+
+
+def _lvlshift(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    lo, hi = (6, 12) if test_variant else (2, 7)
+    return mixed.level_shifter(nfin=int(rng.integers(lo, hi)))
+
+
+def _iodrv(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    lo, hi = (40, 64) if test_variant else (16, 40)
+    return mixed.io_driver(drive_nfin=int(rng.integers(lo, hi)), nf=int(rng.integers(2, 6)))
+
+
+def _dac(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    return mixed.r2r_dac(bits=int(rng.integers(2, 6)))
+
+
+def _chpump(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    return mixed.charge_pump(stages=int(rng.integers(2, 5)))
+
+
+def _flashadc(rng: np.random.Generator, test_variant: bool) -> Circuit:
+    return mixed.flash_adc_slice(bits=2)
+
+
+#: Family name -> factory.  ``test_variant=True`` draws from disjoint ranges.
+BLOCK_FAMILIES: dict[str, BlockFactory] = {
+    "opamp": _opamp,
+    "ota": _ota,
+    "mirror": _mirror,
+    "diffpair": _diffpair,
+    "comparator": _comparator,
+    "biasnet": _biasnet,
+    "ldo": _ldo,
+    "bandgap": _bandgap,
+    "rcfilter": _rcfilter,
+    "srcfol": _srcfol,
+    "invchain": _invchain,
+    "ringosc": _ringosc,
+    "sram": _sram,
+    "nandtree": _nandtree,
+    "muxtree": _muxtree,
+    "clktree": _clktree,
+    "lvlshift": _lvlshift,
+    "iodrv": _iodrv,
+    "dac": _dac,
+    "chpump": _chpump,
+    "flashadc": _flashadc,
+    "thickchain": _thick_inverter_chain,
+}
+
+#: Family groups used by recipes.
+ANALOG = ("opamp", "ota", "mirror", "diffpair", "comparator", "biasnet", "srcfol")
+DIGITAL = ("invchain", "ringosc", "sram", "nandtree", "clktree")
+DIGITAL_TEST = ("invchain", "ringosc", "nandtree", "muxtree", "sram")
+THICK = ("lvlshift", "iodrv", "chpump", "thickchain")
+PASSIVE = ("rcfilter", "dac")
+
+
+@dataclass(frozen=True)
+class ChipRecipe:
+    """Recipe for one dataset circuit.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (paper row id: ``t1`` ... ``e4``).
+    blocks:
+        ``(family, count)`` pairs; counts are multiplied by the dataset scale
+        and rounded up (so every family stays represented at small scales).
+    test_variant:
+        Draw block parameters from the held-out variant ranges.
+    """
+
+    name: str
+    blocks: tuple[tuple[str, int], ...]
+    test_variant: bool = False
+
+
+def _recipe(name: str, test_variant: bool = False, **families: int) -> ChipRecipe:
+    return ChipRecipe(name, tuple(families.items()), test_variant)
+
+
+#: Training recipes t1-t18 and test recipes e1-e4, shaped after Table IV.
+TRAIN_RECIPES: tuple[ChipRecipe, ...] = (
+    _recipe("t1", ota=2, diffpair=1, mirror=1),                      # tiny analog
+    _recipe("t2", thickchain=4, lvlshift=3, rcfilter=2, invchain=2, chpump=1),
+    _recipe("t3", iodrv=3, thickchain=4, rcfilter=3, dac=1, invchain=2),
+    _recipe("t4", invchain=10, sram=4, nandtree=4, clktree=3, iodrv=3,
+            opamp=2, rcfilter=2),                                     # largest mixed
+    _recipe("t5", invchain=8, sram=3, nandtree=3, lvlshift=2, rcfilter=1, opamp=1),
+    _recipe("t6", invchain=8, nandtree=3, clktree=2, lvlshift=2, rcfilter=1),
+    _recipe("t7", invchain=5, nandtree=2, bandgap=2, lvlshift=1, rcfilter=1),
+    _recipe("t8", thickchain=5, rcfilter=1),                          # thick-gate only
+    _recipe("t9", thickchain=5, chpump=1),
+    _recipe("t10", invchain=8, sram=3, nandtree=3),                   # pure digital
+    _recipe("t11", iodrv=4, thickchain=4, bandgap=2, rcfilter=1, ota=1),
+    _recipe("t12", invchain=4, ringosc=2),
+    _recipe("t13", invchain=7, nandtree=3, clktree=2, ringosc=1),
+    _recipe("t14", lvlshift=2, dac=1, chpump=1),                      # small thick+passives
+    _recipe("t15", invchain=5, iodrv=3, thickchain=3, bandgap=2, opamp=2, sram=1),
+    _recipe("t16", invchain=5, nandtree=2, sram=2),
+    _recipe("t17", thickchain=4, iodrv=3, bandgap=3, rcfilter=2, ota=1),
+    _recipe("t18", invchain=5, nandtree=2, dac=1, flashadc=1, ldo=1),
+)
+
+TEST_RECIPES: tuple[ChipRecipe, ...] = (
+    _recipe("e1", test_variant=True, invchain=6, nandtree=3, muxtree=2, ringosc=1),
+    _recipe("e2", test_variant=True, lvlshift=2, iodrv=1, dac=1),
+    _recipe("e3", test_variant=True, invchain=4, muxtree=2, sram=1),
+    _recipe("e4", test_variant=True, invchain=4, sram=2, nandtree=2),
+)
+
+
+@dataclass
+class ComposedChip:
+    """A built dataset circuit plus its provenance."""
+
+    circuit: Circuit
+    recipe: ChipRecipe
+    block_names: list[str] = field(default_factory=list)
+
+
+def compose_chip(
+    recipe: ChipRecipe,
+    seed: int = 0,
+    scale: float = 1.0,
+    share_probability: float = 0.3,
+) -> ComposedChip:
+    """Build one circuit from a recipe.
+
+    Blocks are instantiated with randomized parameters and wired together:
+    each block port connects to a shared interconnect net with probability
+    *share_probability* (creating realistic cross-block fanout) and to a fresh
+    net otherwise.
+
+    Parameters
+    ----------
+    scale:
+        Multiplier on block counts (fractional allowed; at least one block
+        per family is kept).
+    """
+    namer = SeedSequenceNamer(seed, "chip", recipe.name)
+    wiring_rng = namer.stream("wiring")
+    chip = Circuit(recipe.name)
+    pool: list[str] = []
+    block_index = 0
+    for family, count in recipe.blocks:
+        factory = BLOCK_FAMILIES[family]
+        n_blocks = max(1, round(count * scale))
+        for k in range(n_blocks):
+            block = factory(namer.stream(family, k), recipe.test_variant)
+            port_map: dict[str, str] = {}
+            for port in block.ports:
+                if pool and wiring_rng.random() < share_probability:
+                    port_map[port] = str(wiring_rng.choice(pool))
+                else:
+                    net_name = f"w{block_index}_{port}"
+                    port_map[port] = net_name
+                    if wiring_rng.random() < 0.5:
+                        pool.append(net_name)
+            chip.embed(block, f"u{block_index}_{family}", port_map)
+            block_index += 1
+    composed = ComposedChip(chip, recipe)
+    composed.block_names = [f"{family}x{count}" for family, count in recipe.blocks]
+    return composed
+
+
+def build_dataset(
+    seed: int = 0, scale: float = 1.0
+) -> tuple[dict[str, Circuit], dict[str, Circuit]]:
+    """Build the full train/test circuit dataset.
+
+    Returns ``(train, test)`` dicts keyed by circuit name (t1..t18, e1..e4).
+    """
+    train = {
+        recipe.name: compose_chip(recipe, seed=seed, scale=scale).circuit
+        for recipe in TRAIN_RECIPES
+    }
+    test = {
+        recipe.name: compose_chip(recipe, seed=seed, scale=scale).circuit
+        for recipe in TEST_RECIPES
+    }
+    return train, test
+
+
+def table4_rows(circuits: dict[str, Circuit]) -> list[dict[str, int | str]]:
+    """Device/net distribution rows in paper Table IV format."""
+    rows = []
+    for name, circuit in circuits.items():
+        row: dict[str, int | str] = {"circuit": name}
+        row.update(circuit.stats_row())
+        rows.append(row)
+    return rows

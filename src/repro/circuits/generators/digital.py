@@ -1,0 +1,243 @@
+"""Digital block generators: chains, oscillators, arrays, trees.
+
+These create the large transistor-count circuits of the dataset (the paper's
+t4/t5/t10-style rows are dominated by digital content).
+"""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.generators.primitives import (
+    DEFAULT_L,
+    _mos_params,
+    inverter,
+    latch_cell,
+    nand2,
+    nor2,
+    transmission_gate,
+)
+from repro.circuits.netlist import Circuit
+
+
+def inverter_chain(
+    stages: int = 8,
+    nfin_n: float = 2,
+    nfin_p: float = 4,
+    taper: float = 1.0,
+    name: str = "invchain",
+) -> Circuit:
+    """Chain of inverters, optionally tapered.  Ports: ``in``, ``out``."""
+    if stages < 1:
+        raise ValueError("inverter_chain needs at least one stage")
+    c = Circuit(name, ports=["in", "out"])
+    node = "in"
+    for i in range(stages):
+        out = "out" if i == stages - 1 else f"n{i}"
+        scale = taper**i
+        cell = inverter(
+            nfin_n=max(1, round(nfin_n * scale)),
+            nfin_p=max(1, round(nfin_p * scale)),
+        )
+        c.embed(cell, f"i{i}", {"a": node, "y": out})
+        node = out
+    return c
+
+
+def ring_oscillator(
+    stages: int = 5, nfin_n: float = 2, nfin_p: float = 4, name: str = "ringosc"
+) -> Circuit:
+    """Odd-stage ring oscillator with an enable NAND.  Ports: ``en``, ``out``.
+
+    Raises
+    ------
+    ValueError
+        If *stages* is even (the ring would latch up).
+    """
+    if stages < 3 or stages % 2 == 0:
+        raise ValueError("ring oscillator needs an odd stage count >= 3")
+    c = Circuit(name, ports=["en", "out"])
+    c.embed(nand2(nfin_n=2 * nfin_n, nfin_p=nfin_p), "g0", {"a": "en", "b": "fb", "y": "n0"})
+    node = "n0"
+    for i in range(1, stages):
+        out = "fb" if i == stages - 1 else f"n{i}"
+        c.embed(inverter(nfin_n, nfin_p), f"g{i}", {"a": node, "y": out})
+        node = out
+    c.embed(inverter(nfin_n, nfin_p), "gout", {"a": "fb", "y": "out"})
+    return c
+
+
+def sram_cell(nfin: float = 1, name: str = "sram6t") -> Circuit:
+    """6T SRAM bit cell.  Ports: ``bl``, ``blb``, ``wl``."""
+    c = Circuit(name, ports=["bl", "blb", "wl"])
+    c.embed(latch_cell(nfin=nfin), "core", {"q": "q", "qb": "qb"})
+    c.add_instance(
+        "mpass_a", dev.TRANSISTOR,
+        {"drain": "bl", "gate": "wl", "source": "q", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin, 1, DEFAULT_L),
+    )
+    c.add_instance(
+        "mpass_b", dev.TRANSISTOR,
+        {"drain": "blb", "gate": "wl", "source": "qb", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin, 1, DEFAULT_L),
+    )
+    return c
+
+
+def sram_array(rows: int = 4, cols: int = 4, name: str = "sramarr") -> Circuit:
+    """rows x cols SRAM array with shared word/bit lines.
+
+    Ports: ``wl0..``, ``bl0..``, ``blb0..``.  Bit lines are the high-fanout
+    nets whose capacitance scales with *rows* — a structure/target correlation
+    the CAP model should learn.
+    """
+    ports = (
+        [f"wl{r}" for r in range(rows)]
+        + [f"bl{k}" for k in range(cols)]
+        + [f"blb{k}" for k in range(cols)]
+    )
+    c = Circuit(name, ports=ports)
+    for r in range(rows):
+        for k in range(cols):
+            c.embed(
+                sram_cell(),
+                f"bit_{r}_{k}",
+                {"bl": f"bl{k}", "blb": f"blb{k}", "wl": f"wl{r}"},
+            )
+    return c
+
+
+def nand_tree(depth: int = 3, name: str = "nandtree") -> Circuit:
+    """Balanced binary NAND reduction tree with 2**depth inputs.
+
+    Ports: ``in0..``, ``out``.
+    """
+    if depth < 1:
+        raise ValueError("nand_tree needs depth >= 1")
+    n_inputs = 2**depth
+    ports = [f"in{i}" for i in range(n_inputs)] + ["out"]
+    c = Circuit(name, ports=ports)
+    level = [f"in{i}" for i in range(n_inputs)]
+    for d in range(depth):
+        next_level = []
+        for j in range(0, len(level), 2):
+            out = "out" if d == depth - 1 and j == 0 else f"t{d}_{j // 2}"
+            gate = nand2() if d % 2 == 0 else nor2()
+            c.embed(gate, f"g{d}_{j // 2}", {"a": level[j], "b": level[j + 1], "y": out})
+            next_level.append(out)
+        level = next_level
+    return c
+
+
+def mux_tree(depth: int = 2, name: str = "muxtree") -> Circuit:
+    """Transmission-gate mux tree selecting one of 2**depth inputs.
+
+    Ports: ``in0..``, ``sel0..``, ``selb0..``, ``out``.
+    """
+    if depth < 1:
+        raise ValueError("mux_tree needs depth >= 1")
+    n_inputs = 2**depth
+    ports = (
+        [f"in{i}" for i in range(n_inputs)]
+        + [f"sel{d}" for d in range(depth)]
+        + [f"selb{d}" for d in range(depth)]
+        + ["out"]
+    )
+    c = Circuit(name, ports=ports)
+    level = [f"in{i}" for i in range(n_inputs)]
+    for d in range(depth):
+        next_level = []
+        for j in range(0, len(level), 2):
+            out = "out" if d == depth - 1 else f"m{d}_{j // 2}"
+            c.embed(
+                transmission_gate(),
+                f"tg{d}_{j}a",
+                {"a": level[j], "b": out, "en": f"selb{d}", "enb": f"sel{d}"},
+            )
+            c.embed(
+                transmission_gate(),
+                f"tg{d}_{j}b",
+                {"a": level[j + 1], "b": out, "en": f"sel{d}", "enb": f"selb{d}"},
+            )
+            next_level.append(out)
+        level = next_level
+    return c
+
+
+def delay_line(
+    taps: int = 4, stage_pairs: int = 2, name: str = "delayline"
+) -> Circuit:
+    """Inverter delay line with tapped outputs.
+
+    Ports: ``in``, ``tap0..tapN-1``.  Each tap sits *stage_pairs* inverter
+    pairs after the previous one.
+    """
+    if taps < 1 or stage_pairs < 1:
+        raise ValueError("delay_line needs taps >= 1 and stage_pairs >= 1")
+    ports = ["in"] + [f"tap{i}" for i in range(taps)]
+    c = Circuit(name, ports=ports)
+    node = "in"
+    index = 0
+    for tap in range(taps):
+        for pair in range(stage_pairs):
+            mid = f"d{index}"
+            out = f"tap{tap}" if pair == stage_pairs - 1 else f"d{index + 1}"
+            c.embed(inverter(), f"ia{index}", {"a": node, "y": mid})
+            c.embed(inverter(), f"ib{index}", {"a": mid, "y": out})
+            node = out
+            index += 2
+    return c
+
+
+def shift_register(bits: int = 4, name: str = "shiftreg") -> Circuit:
+    """Transmission-gate master-slave shift register.
+
+    Ports: ``d``, ``clk``, ``clkb``, ``q0..qN-1``.
+    """
+    if bits < 1:
+        raise ValueError("shift_register needs at least one bit")
+    ports = ["d", "clk", "clkb"] + [f"q{i}" for i in range(bits)]
+    c = Circuit(name, ports=ports)
+    node = "d"
+    for i in range(bits):
+        master = f"m{i}"
+        slave = f"q{i}"
+        c.embed(
+            transmission_gate(),
+            f"tgm{i}",
+            {"a": node, "b": f"mi{i}", "en": "clk", "enb": "clkb"},
+        )
+        c.embed(inverter(), f"invm{i}", {"a": f"mi{i}", "y": master})
+        c.embed(
+            transmission_gate(),
+            f"tgs{i}",
+            {"a": master, "b": f"si{i}", "en": "clkb", "enb": "clk"},
+        )
+        c.embed(inverter(), f"invs{i}", {"a": f"si{i}", "y": slave})
+        node = slave
+    return c
+
+
+def clock_tree(fanout: int = 2, depth: int = 2, name: str = "clktree") -> Circuit:
+    """Buffered clock distribution tree.  Ports: ``clk``, ``leaf0..``.
+
+    Each level multiplies the branch count by *fanout*; leaves are ports so a
+    parent circuit can hang loads on them.
+    """
+    if fanout < 1 or depth < 1:
+        raise ValueError("clock_tree needs fanout >= 1 and depth >= 1")
+    n_leaves = fanout**depth
+    ports = ["clk"] + [f"leaf{i}" for i in range(n_leaves)]
+    c = Circuit(name, ports=ports)
+    level = ["clk"]
+    for d in range(depth):
+        next_level = []
+        for parent_idx, parent in enumerate(level):
+            for f in range(fanout):
+                idx = parent_idx * fanout + f
+                is_leaf = d == depth - 1
+                out = f"leaf{idx}" if is_leaf else f"b{d}_{idx}"
+                cell = inverter(nfin_n=2 * (depth - d), nfin_p=4 * (depth - d))
+                c.embed(cell, f"buf{d}_{idx}", {"a": parent, "y": out})
+                next_level.append(out)
+        level = next_level
+    return c

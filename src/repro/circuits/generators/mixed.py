@@ -1,0 +1,171 @@
+"""Mixed-signal and IO block generators: level shifters, IO cells, DACs.
+
+These blocks exercise the thick-gate transistor population (paper Table IV's
+``tran_th`` column) and diodes.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.generators.primitives import DEFAULT_L_THICK, _mos_params, inverter
+from repro.circuits.generators.analog import strongarm_comparator
+from repro.circuits.netlist import Circuit
+
+
+def level_shifter(nfin: float = 4, name: str = "lvlshift") -> Circuit:
+    """Cross-coupled thin-to-thick-gate level shifter.  Ports: ``in``, ``out``."""
+    c = Circuit(name, ports=["in", "out"])
+    c.embed(inverter(nfin_n=2, nfin_p=4), "invin", {"a": "in", "y": "inb"})
+    c.add_instance(
+        "mxp_a", dev.TRANSISTOR_THICKGATE,
+        {"drain": "xa", "gate": "out", "source": "vddio", "bulk": "vddio"},
+        _mos_params(dev.PMOS, nfin, 1, DEFAULT_L_THICK),
+    )
+    c.add_instance(
+        "mxp_b", dev.TRANSISTOR_THICKGATE,
+        {"drain": "out", "gate": "xa", "source": "vddio", "bulk": "vddio"},
+        _mos_params(dev.PMOS, nfin, 1, DEFAULT_L_THICK),
+    )
+    c.add_instance(
+        "mxn_a", dev.TRANSISTOR_THICKGATE,
+        {"drain": "xa", "gate": "in", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, 2 * nfin, 1, DEFAULT_L_THICK),
+    )
+    c.add_instance(
+        "mxn_b", dev.TRANSISTOR_THICKGATE,
+        {"drain": "out", "gate": "inb", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, 2 * nfin, 1, DEFAULT_L_THICK),
+    )
+    return c
+
+
+def io_driver(drive_nfin: float = 32, nf: float = 4, name: str = "iodrv") -> Circuit:
+    """Thick-gate pad driver with predriver and ESD diodes.
+
+    Ports: ``d``, ``pad``, ``en``.
+    """
+    c = Circuit(name, ports=["d", "pad", "en"])
+    c.embed(level_shifter(), "ls", {"in": "d", "out": "dhv"})
+    c.embed(level_shifter(), "lsen", {"in": "en", "out": "enhv"})
+    # predriver NAND/NOR in the thick-gate domain
+    c.add_instance(
+        "mpre_p", dev.TRANSISTOR_THICKGATE,
+        {"drain": "gp", "gate": "dhv", "source": "vddio", "bulk": "vddio"},
+        _mos_params(dev.PMOS, 8, 2, DEFAULT_L_THICK),
+    )
+    c.add_instance(
+        "mpre_n", dev.TRANSISTOR_THICKGATE,
+        {"drain": "gp", "gate": "enhv", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, 8, 2, DEFAULT_L_THICK),
+    )
+    c.add_instance(
+        "mpre2_p", dev.TRANSISTOR_THICKGATE,
+        {"drain": "gn", "gate": "enhv", "source": "vddio", "bulk": "vddio"},
+        _mos_params(dev.PMOS, 8, 2, DEFAULT_L_THICK),
+    )
+    c.add_instance(
+        "mpre2_n", dev.TRANSISTOR_THICKGATE,
+        {"drain": "gn", "gate": "dhv", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, 8, 2, DEFAULT_L_THICK),
+    )
+    # output stage
+    c.add_instance(
+        "mdrv_p", dev.TRANSISTOR_THICKGATE,
+        {"drain": "pad", "gate": "gp", "source": "vddio", "bulk": "vddio"},
+        _mos_params(dev.PMOS, drive_nfin, nf, DEFAULT_L_THICK),
+    )
+    c.add_instance(
+        "mdrv_n", dev.TRANSISTOR_THICKGATE,
+        {"drain": "pad", "gate": "gn", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, drive_nfin, nf, DEFAULT_L_THICK),
+    )
+    # ESD protection diodes and pad structure capacitance
+    c.add_instance("desd_hi", dev.DIODE, {"p": "pad", "n": "vddio"}, {"NF": 8})
+    c.add_instance("desd_lo", dev.DIODE, {"p": "vss", "n": "pad"}, {"NF": 8})
+    c.add_instance(
+        "cpad", dev.CAPACITOR, {"p": "pad", "n": "vss"}, {"MULTI": 4, "C": 600e-15}
+    )
+    return c
+
+
+def r2r_dac(bits: int = 4, name: str = "r2rdac") -> Circuit:
+    """R-2R ladder DAC with transmission-gate-free switch inverters.
+
+    Ports: ``b0..``, ``out``.
+    """
+    if bits < 1:
+        raise ValueError("r2r_dac needs at least 1 bit")
+    ports = [f"b{i}" for i in range(bits)] + ["out"]
+    c = Circuit(name, ports=ports)
+    node = "out"
+    for i in reversed(range(bits)):
+        c.embed(inverter(nfin_n=4, nfin_p=8), f"sw{i}", {"a": f"b{i}", "y": f"d{i}"})
+        c.add_instance(
+            f"r2_{i}", dev.RESISTOR, {"p": f"d{i}", "n": node}, {"L": 4e-6, "R": 20e3}
+        )
+        if i > 0:
+            nxt = f"lad{i}"
+            c.add_instance(
+                f"r1_{i}", dev.RESISTOR, {"p": node, "n": nxt}, {"L": 2e-6, "R": 10e3}
+            )
+            node = nxt
+        else:
+            c.add_instance(
+                "rterm", dev.RESISTOR, {"p": node, "n": "vss"}, {"L": 4e-6, "R": 20e3}
+            )
+    return c
+
+
+def charge_pump(stages: int = 3, name: str = "chpump") -> Circuit:
+    """Dickson charge pump: diode-connected thick-gate devices + flying caps.
+
+    Ports: ``clk``, ``clkb``, ``vout``.
+    """
+    if stages < 1:
+        raise ValueError("charge_pump needs at least one stage")
+    c = Circuit(name, ports=["clk", "clkb", "vout"])
+    node = "vdd"
+    for i in range(stages):
+        out = "vout" if i == stages - 1 else f"p{i}"
+        c.add_instance(
+            f"mdio{i}", dev.TRANSISTOR_THICKGATE,
+            {"drain": out, "gate": node, "source": node, "bulk": "vss"},
+            _mos_params(dev.NMOS, 8, 2, DEFAULT_L_THICK),
+        )
+        phase = "clk" if i % 2 == 0 else "clkb"
+        c.add_instance(
+            f"cfly{i}", dev.CAPACITOR, {"p": out, "n": phase}, {"MULTI": 4, "C": 200e-15}
+        )
+        node = out
+    c.add_instance("cout", dev.CAPACITOR, {"p": "vout", "n": "vss"}, {"MULTI": 8, "C": 400e-15})
+    return c
+
+
+def flash_adc_slice(bits: int = 2, name: str = "flashadc") -> Circuit:
+    """Tiny flash-ADC slice: resistor ladder + comparator bank.
+
+    Ports: ``vin``, ``clk``, ``code0..``.
+    """
+    n_comp = 2**bits - 1
+    ports = ["vin", "clk"] + [f"code{i}" for i in range(n_comp)]
+    c = Circuit(name, ports=ports)
+    node = "vdd"
+    for i in range(n_comp + 1):
+        out = "vss" if i == n_comp else f"ref{i}"
+        c.add_instance(
+            f"rl{i}", dev.RESISTOR, {"p": node, "n": out}, {"L": 3e-6, "R": 5e3}
+        )
+        node = out
+    for i in range(n_comp):
+        c.embed(
+            strongarm_comparator(),
+            f"cmp{i}",
+            {
+                "inp": "vin",
+                "inn": f"ref{i}",
+                "clk": "clk",
+                "outp": f"code{i}",
+                "outn": f"codeb{i}",
+            },
+        )
+    return c

@@ -1,0 +1,187 @@
+"""Primitive cell generators: inverters, gates, transmission gates.
+
+Every generator returns a self-contained :class:`~repro.circuits.netlist.Circuit`
+with signal ports; supply rails are the global nets ``vdd``/``vss`` which keep
+their identity when the cell is embedded into a larger design.
+
+Sizing arguments follow FinFET conventions: ``nfin`` (fins per finger),
+``nf`` (fingers), ``length`` (gate length in metres), ``multi`` (copies).
+"""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+
+#: Default thin-gate length for the synthetic sub-10nm process.
+DEFAULT_L = 16e-9
+#: Default thick-gate length.
+DEFAULT_L_THICK = 150e-9
+
+
+def _mos_params(
+    polarity: float,
+    nfin: float,
+    nf: float = 1.0,
+    length: float = DEFAULT_L,
+    multi: float = 1.0,
+) -> dict[str, float]:
+    return {
+        "TYPE": polarity,
+        "NFIN": float(nfin),
+        "NF": float(nf),
+        "L": float(length),
+        "MULTI": float(multi),
+    }
+
+
+def nmos(**kwargs) -> dict[str, float]:
+    """Parameter dict for an NMOS (convenience for generator code)."""
+    return _mos_params(dev.NMOS, **kwargs)
+
+
+def pmos(**kwargs) -> dict[str, float]:
+    """Parameter dict for a PMOS."""
+    return _mos_params(dev.PMOS, **kwargs)
+
+
+def inverter(
+    nfin_n: float = 2,
+    nfin_p: float = 4,
+    nf: float = 1,
+    length: float = DEFAULT_L,
+    name: str = "inv",
+) -> Circuit:
+    """CMOS inverter.  Ports: ``a`` (input), ``y`` (output)."""
+    c = Circuit(name, ports=["a", "y"])
+    c.add_instance(
+        "mp",
+        dev.TRANSISTOR,
+        {"drain": "y", "gate": "a", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_p, nf, length),
+    )
+    c.add_instance(
+        "mn",
+        dev.TRANSISTOR,
+        {"drain": "y", "gate": "a", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_n, nf, length),
+    )
+    return c
+
+
+def nand2(
+    nfin_n: float = 4,
+    nfin_p: float = 4,
+    nf: float = 1,
+    length: float = DEFAULT_L,
+    name: str = "nand2",
+) -> Circuit:
+    """2-input NAND.  Ports: ``a``, ``b``, ``y``.
+
+    The series NMOS stack creates a diffusion-sharing (MTS) pair, which the
+    layout synthesizer turns into asymmetric source/drain areas — exactly the
+    structure ParaGraph has to learn.
+    """
+    c = Circuit(name, ports=["a", "b", "y"])
+    c.add_instance(
+        "mpa", dev.TRANSISTOR,
+        {"drain": "y", "gate": "a", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_p, nf, length),
+    )
+    c.add_instance(
+        "mpb", dev.TRANSISTOR,
+        {"drain": "y", "gate": "b", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_p, nf, length),
+    )
+    c.add_instance(
+        "mna", dev.TRANSISTOR,
+        {"drain": "y", "gate": "a", "source": "mid", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_n, nf, length),
+    )
+    c.add_instance(
+        "mnb", dev.TRANSISTOR,
+        {"drain": "mid", "gate": "b", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_n, nf, length),
+    )
+    return c
+
+
+def nor2(
+    nfin_n: float = 2,
+    nfin_p: float = 8,
+    nf: float = 1,
+    length: float = DEFAULT_L,
+    name: str = "nor2",
+) -> Circuit:
+    """2-input NOR.  Ports: ``a``, ``b``, ``y`` (series PMOS stack)."""
+    c = Circuit(name, ports=["a", "b", "y"])
+    c.add_instance(
+        "mpa", dev.TRANSISTOR,
+        {"drain": "mid", "gate": "a", "source": "vdd", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_p, nf, length),
+    )
+    c.add_instance(
+        "mpb", dev.TRANSISTOR,
+        {"drain": "y", "gate": "b", "source": "mid", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin_p, nf, length),
+    )
+    c.add_instance(
+        "mna", dev.TRANSISTOR,
+        {"drain": "y", "gate": "a", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_n, nf, length),
+    )
+    c.add_instance(
+        "mnb", dev.TRANSISTOR,
+        {"drain": "y", "gate": "b", "source": "vss", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin_n, nf, length),
+    )
+    return c
+
+
+def transmission_gate(
+    nfin: float = 2, nf: float = 1, length: float = DEFAULT_L, name: str = "tgate"
+) -> Circuit:
+    """CMOS transmission gate.  Ports: ``a``, ``b``, ``en``, ``enb``."""
+    c = Circuit(name, ports=["a", "b", "en", "enb"])
+    c.add_instance(
+        "mn", dev.TRANSISTOR,
+        {"drain": "a", "gate": "en", "source": "b", "bulk": "vss"},
+        _mos_params(dev.NMOS, nfin, nf, length),
+    )
+    c.add_instance(
+        "mp", dev.TRANSISTOR,
+        {"drain": "a", "gate": "enb", "source": "b", "bulk": "vdd"},
+        _mos_params(dev.PMOS, nfin, nf, length),
+    )
+    return c
+
+
+def buffer(
+    nfin_first: float = 2,
+    stage_ratio: float = 3.0,
+    stages: int = 2,
+    length: float = DEFAULT_L,
+    name: str = "buf",
+) -> Circuit:
+    """Tapered buffer of *stages* inverters.  Ports: ``a``, ``y``."""
+    if stages < 1:
+        raise ValueError("buffer needs at least one stage")
+    c = Circuit(name, ports=["a", "y"])
+    node = "a"
+    for i in range(stages):
+        out = "y" if i == stages - 1 else f"n{i}"
+        nfin = nfin_first * stage_ratio**i
+        cell = inverter(nfin_n=round(nfin), nfin_p=round(2 * nfin), length=length)
+        c.embed(cell, f"s{i}", {"a": node, "y": out})
+        node = out
+    return c
+
+
+def latch_cell(
+    nfin: float = 2, length: float = DEFAULT_L, name: str = "latch"
+) -> Circuit:
+    """Cross-coupled inverter pair (storage element).  Ports: ``q``, ``qb``."""
+    c = Circuit(name, ports=["q", "qb"])
+    c.embed(inverter(nfin, 2 * nfin, length=length), "fwd", {"a": "q", "y": "qb"})
+    c.embed(inverter(nfin, 2 * nfin, length=length), "bwd", {"a": "qb", "y": "q"})
+    return c

@@ -1,0 +1,58 @@
+"""Structural validation of circuits before graph construction or layout."""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.errors import NetlistError
+
+
+def validate_circuit(circuit: Circuit, require_signal_nets: bool = True) -> None:
+    """Check structural invariants; raise :class:`NetlistError` on violation.
+
+    Checks:
+
+    * every instance terminal refers to an existing net,
+    * MOSFETs declare a TYPE polarity of +-1,
+    * feature parameters are positive where physical (L, NF, NFIN, MULTI),
+    * at least one non-supply net exists (required for parasitic targets),
+    * no floating signal nets (fanout 0).
+    """
+    problems: list[str] = []
+    fanout: dict[str, int] = {net.name: 0 for net in circuit.nets()}
+
+    for inst in circuit.instances():
+        spec = dev.spec_for(inst.device_type)
+        for terminal in spec.terminals:
+            net_name = inst.conns.get(terminal)
+            if net_name is None:
+                problems.append(f"{inst.name}: terminal {terminal} unconnected")
+                continue
+            if not circuit.has_net(net_name):
+                problems.append(f"{inst.name}: terminal {terminal} -> unknown net {net_name}")
+                continue
+            fanout[net_name] += 1
+        if dev.is_mos(inst.device_type):
+            polarity = inst.param("TYPE", 0.0)
+            if polarity not in (dev.NMOS, dev.PMOS):
+                problems.append(f"{inst.name}: MOSFET TYPE must be +-1, got {polarity}")
+        for feature in spec.features:
+            try:
+                value = inst.param(feature)
+            except NetlistError:
+                problems.append(f"{inst.name}: missing feature parameter {feature}")
+                continue
+            if value <= 0:
+                problems.append(f"{inst.name}: feature {feature}={value} must be positive")
+
+    for net in circuit.nets():
+        if not net.is_supply and fanout.get(net.name, 0) == 0:
+            problems.append(f"net {net.name}: floating (fanout 0)")
+
+    if require_signal_nets and not circuit.signal_nets():
+        problems.append("circuit has no signal nets")
+
+    if problems:
+        preview = "; ".join(problems[:8])
+        more = f" (+{len(problems) - 8} more)" if len(problems) > 8 else ""
+        raise NetlistError(f"invalid circuit {circuit.name!r}: {preview}{more}")

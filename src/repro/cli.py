@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro dataset    --scale 0.2 --seed 0
+        Print the Table IV distribution of a generated dataset.
+
+    python -m repro train      --target CAP --conv paragraph --epochs 60
+                               --scale 0.2 --seed 0 --out cap_model.npz
+        Train one predictor on a generated dataset and save it.
+
+    python -m repro predict    --model cap_model.npz --netlist in.sp
+                               [--annotate out.sp]
+        Parse a SPICE netlist, predict the model's target for every
+        net/transistor, print a report; with ``--annotate`` also write the
+        parasitic-annotated netlist (CAP models only).
+
+    python -m repro experiment {table4,fig5,fig6,fig7,fig8,table5,layers,ingredients}
+        Run one paper experiment and print its table (honours
+        PARAGRAPH_BENCH_SCALE).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import format_eng
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import ExperimentConfig, experiment_table4, load_bundle
+
+    config = ExperimentConfig(dataset_seed=args.seed, dataset_scale=args.scale)
+    print(experiment_table4(config, load_bundle(config)).render())
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.data import build_bundle
+    from repro.models import TargetPredictor, TrainConfig
+
+    print(f"building dataset (seed={args.seed}, scale={args.scale})...")
+    bundle = build_bundle(seed=args.seed, scale=args.scale)
+    config = TrainConfig(
+        epochs=args.epochs,
+        run_seed=args.seed,
+        max_v=args.max_v,
+    )
+    predictor = TargetPredictor(args.conv, args.target, config)
+    print(f"training {args.conv}/{args.target} for {args.epochs} epochs...")
+    predictor.fit(bundle)
+    metrics = predictor.evaluate(bundle.records("test"))
+    print(
+        f"held-out: R2={metrics['r2']:.3f} MAE={metrics['mae']:.3e} "
+        f"MAPE={100 * metrics['mape']:.1f}%"
+    )
+    predictor.save(args.out)
+    print(f"saved model to {args.out}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.circuits import read_spice, write_spice
+    from repro.models import TargetPredictor
+    from repro.sim import annotated_netlist
+
+    predictor = TargetPredictor.load(args.model)
+    with open(args.netlist) as handle:
+        circuit = read_spice(handle, name=args.netlist)
+    predictions = predictor.predict_circuit(circuit)
+    unit = "F" if predictor.spec.name in ("CAP",) else ""
+    print(f"{predictor.spec.name} predictions for {args.netlist}:")
+    for name in sorted(predictions):
+        print(f"  {name:24s} {format_eng(predictions[name], unit)}")
+    if args.annotate:
+        if predictor.spec.kind != "net" or predictor.spec.name != "CAP":
+            print("--annotate requires a CAP model", file=sys.stderr)
+            return 2
+        annotated = annotated_netlist(circuit, predictions)
+        with open(args.annotate, "w") as handle:
+            write_spice(annotated, handle)
+        print(f"wrote annotated netlist to {args.annotate}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as exp
+
+    config = exp.ExperimentConfig.from_env()
+    bundle = exp.load_bundle(config)
+    runners = {
+        "table4": lambda: exp.experiment_table4(config, bundle),
+        "fig5": lambda: exp.experiment_fig5(config, bundle),
+        "fig6": lambda: exp.experiment_fig6(config, bundle),
+        "fig7": lambda: exp.experiment_fig7(config, bundle),
+        "fig8": lambda: exp.experiment_fig8(config, bundle),
+        "table5": lambda: exp.experiment_table5(config, bundle),
+        "layers": lambda: exp.experiment_layer_sweep(config, bundle),
+        "ingredients": lambda: exp.experiment_ingredients(config, bundle),
+    }
+    print(runners[args.name]().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ParaGraph reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dataset = sub.add_parser("dataset", help="print Table IV for a generated dataset")
+    p_dataset.add_argument("--scale", type=float, default=0.2)
+    p_dataset.add_argument("--seed", type=int, default=0)
+    p_dataset.set_defaults(func=_cmd_dataset)
+
+    p_train = sub.add_parser("train", help="train and save a predictor")
+    p_train.add_argument("--target", default="CAP")
+    p_train.add_argument("--conv", default="paragraph",
+                         choices=["paragraph", "sage", "rgcn", "gat", "gcn"])
+    p_train.add_argument("--epochs", type=int, default=60)
+    p_train.add_argument("--scale", type=float, default=0.2)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--max-v", type=float, default=None,
+                         help="training clamp in farads (CAP models)")
+    p_train.add_argument("--out", default="model.npz")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_predict = sub.add_parser("predict", help="predict targets for a SPICE netlist")
+    p_predict.add_argument("--model", required=True)
+    p_predict.add_argument("--netlist", required=True)
+    p_predict.add_argument("--annotate", default=None,
+                           help="write a parasitic-annotated netlist here")
+    p_predict.set_defaults(func=_cmd_predict)
+
+    p_exp = sub.add_parser("experiment", help="run one paper experiment")
+    p_exp.add_argument(
+        "name",
+        choices=["table4", "fig5", "fig6", "fig7", "fig8", "table5",
+                 "layers", "ingredients"],
+    )
+    p_exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

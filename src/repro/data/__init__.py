@@ -1,0 +1,29 @@
+"""Dataset assembly, target definitions, and feature/target scaling."""
+
+from repro.data.dataset import CircuitRecord, DatasetBundle, build_bundle
+from repro.data.normalize import FeatureScaler, TargetScaler, scaler_from_std
+from repro.data.targets import (
+    ALL_TARGETS,
+    CAP_TARGET,
+    DEVICE_TARGETS,
+    MOS_NODE_TYPES,
+    RES_TARGET,
+    TargetSpec,
+    target_by_name,
+)
+
+__all__ = [
+    "CircuitRecord",
+    "DatasetBundle",
+    "build_bundle",
+    "FeatureScaler",
+    "TargetScaler",
+    "scaler_from_std",
+    "ALL_TARGETS",
+    "CAP_TARGET",
+    "DEVICE_TARGETS",
+    "MOS_NODE_TYPES",
+    "RES_TARGET",
+    "TargetSpec",
+    "target_by_name",
+]

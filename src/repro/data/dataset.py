@@ -1,0 +1,113 @@
+"""Dataset assembly: circuits -> graphs -> layouts -> target arrays.
+
+`build_bundle` is the one-stop entry point used by examples, tests and
+benchmarks.  It composes the Table IV-shaped circuit set, synthesizes layout
+ground truth for every circuit, converts schematics into heterogeneous
+graphs, and fits the feature scaler on the training split only (no test
+leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.generators.chip import build_dataset, table4_rows
+from repro.circuits.netlist import Circuit
+from repro.data.normalize import FeatureScaler
+from repro.data.targets import TargetSpec
+from repro.errors import DatasetError
+from repro.graph.builder import build_graph
+from repro.graph.hetero import HeteroGraph
+from repro.layout.synthesizer import LayoutResult, synthesize_layout
+from repro.layout.tech import DEFAULT_TECH, Technology
+
+
+@dataclass
+class CircuitRecord:
+    """One dataset circuit with its graph and layout ground truth."""
+
+    name: str
+    circuit: Circuit
+    graph: HeteroGraph
+    layout: LayoutResult
+
+    def target_arrays(self, spec: TargetSpec) -> tuple[np.ndarray, np.ndarray]:
+        """(node_ids, ground_truth_values) for a target on this circuit."""
+        ids = spec.node_ids(self.graph)
+        return ids, spec.values(self.graph, self.layout)
+
+
+@dataclass
+class DatasetBundle:
+    """The full train/test dataset with a fitted feature scaler."""
+
+    train: dict[str, CircuitRecord]
+    test: dict[str, CircuitRecord]
+    scaler: FeatureScaler
+    seed: int
+    scale: float
+
+    def records(self, split: str) -> list[CircuitRecord]:
+        """Records of one split ('train' or 'test'), in name order."""
+        try:
+            table = {"train": self.train, "test": self.test}[split]
+        except KeyError:
+            raise DatasetError(f"unknown split {split!r}") from None
+        return [table[name] for name in sorted(table)]
+
+    def table4(self) -> list[dict[str, int | str]]:
+        """Paper Table IV rows for both splits (t* then e*)."""
+        ordered = {rec.name: rec.circuit for rec in self.records("train")}
+        ordered.update({rec.name: rec.circuit for rec in self.records("test")})
+        return table4_rows(ordered)
+
+    def pooled_target(
+        self, split: str, spec: TargetSpec
+    ) -> tuple[list[CircuitRecord], list[np.ndarray], list[np.ndarray]]:
+        """Per-record node ids and values for a target across a split."""
+        records = self.records(split)
+        ids, values = [], []
+        for record in records:
+            node_ids, vals = record.target_arrays(spec)
+            ids.append(node_ids)
+            values.append(vals)
+        return records, ids, values
+
+
+def build_bundle(
+    seed: int = 0,
+    scale: float = 1.0,
+    layout_seed: int | None = None,
+    tech: Technology = DEFAULT_TECH,
+) -> DatasetBundle:
+    """Build circuits, layouts and graphs for the whole dataset.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for circuit composition (and layout, unless overridden).
+    scale:
+        Dataset size multiplier (1.0 ~ 4k devices total).
+    layout_seed:
+        Separate seed for layout-uncertainty noise; defaults to *seed*.
+    """
+    layout_seed = seed if layout_seed is None else layout_seed
+    train_circuits, test_circuits = build_dataset(seed=seed, scale=scale)
+
+    def make_records(circuits: dict[str, Circuit]) -> dict[str, CircuitRecord]:
+        records = {}
+        for name, circuit in circuits.items():
+            records[name] = CircuitRecord(
+                name=name,
+                circuit=circuit,
+                graph=build_graph(circuit),
+                layout=synthesize_layout(circuit, seed=layout_seed, tech=tech),
+            )
+        return records
+
+    train = make_records(train_circuits)
+    test = make_records(test_circuits)
+    scaler = FeatureScaler().fit([rec.graph for rec in train.values()])
+    return DatasetBundle(train=train, test=test, scaler=scaler, seed=seed, scale=scale)

@@ -1,0 +1,126 @@
+"""Feature and target scaling.
+
+Raw Table II features mix metres (~1e-8) and counts (~1..16); models need a
+common scale.  :class:`FeatureScaler` applies per-node-type log-standard
+scaling fitted on the training graphs.  :class:`TargetScaler` normalises
+target values by a fixed scale (the ensemble's ``max_v`` for CAP models, the
+training standard deviation for device parameters), keeping training *linear*
+in the target — faithfully reproducing the paper's setup in which small
+capacitances drown in the error of a full-range model (their Fig. 5a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.hetero import HeteroGraph
+
+_LOG_EPS = 1e-12
+
+
+@dataclass
+class FeatureScaler:
+    """Per-node-type log-standardisation fitted on training graphs."""
+
+    means: dict[str, np.ndarray] = field(default_factory=dict)
+    stds: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def fit(self, graphs: list[HeteroGraph]) -> "FeatureScaler":
+        """Fit means/stds per node type over all graphs' raw features."""
+        stacked: dict[str, list[np.ndarray]] = {}
+        for graph in graphs:
+            for type_name, feats in graph.features.items():
+                stacked.setdefault(type_name, []).append(feats)
+        if not stacked:
+            raise DatasetError("no graphs to fit FeatureScaler on")
+        for type_name, pieces in stacked.items():
+            logged = np.log(np.concatenate(pieces, axis=0) + _LOG_EPS)
+            self.means[type_name] = logged.mean(axis=0)
+            std = logged.std(axis=0)
+            self.stds[type_name] = np.where(std < 1e-9, 1.0, std)
+        return self
+
+    def transform(self, graph: HeteroGraph) -> dict[str, np.ndarray]:
+        """Scaled feature matrices per node type.
+
+        Node types unseen at fit time fall back to plain log features.
+        """
+        out: dict[str, np.ndarray] = {}
+        for type_name, feats in graph.features.items():
+            logged = np.log(feats + _LOG_EPS)
+            mean = self.means.get(type_name)
+            if mean is None:
+                out[type_name] = logged
+            else:
+                out[type_name] = (logged - mean) / self.stds[type_name]
+        return out
+
+
+@dataclass
+class TargetScaler:
+    """Linear normalisation of a target by a fixed scale.
+
+    ``transform`` maps farads/metres to O(1) training values; ``inverse``
+    maps predictions back.
+    """
+
+    scale: float
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise DatasetError(f"target scale must be positive, got {self.scale}")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64) / self.scale
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64) * self.scale
+
+
+@dataclass
+class LogTargetScaler:
+    """Log-space normalisation: ``transform(y) = log(y / scale)``.
+
+    Used for device-parameter targets, whose values span orders of magnitude
+    (areas scale with NF x NFIN x MULTI): a log-space MSE penalises relative
+    error, keeping small devices accurate.  ``scale`` is typically the
+    geometric mean of the training values so transformed targets are
+    centred near zero.
+    """
+
+    scale: float
+    floor: float = 1e-30
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise DatasetError(f"target scale must be positive, got {self.scale}")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.maximum(np.asarray(values, dtype=np.float64), self.floor)
+        return np.log(values / self.scale)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        return self.scale * np.exp(np.asarray(values, dtype=np.float64))
+
+
+def log_scaler_from_values(values: np.ndarray) -> LogTargetScaler:
+    """Log scaler anchored at the geometric mean of *values*."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise DatasetError("cannot derive a target scale from no values")
+    positive = np.maximum(values, 1e-30)
+    return LogTargetScaler(float(np.exp(np.log(positive).mean())))
+
+
+def scaler_from_std(values: np.ndarray) -> TargetScaler:
+    """Target scaler using the std of training values (device parameters)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise DatasetError("cannot derive a target scale from no values")
+    std = float(values.std())
+    if std <= 0:
+        std = float(np.abs(values).max()) or 1.0
+    return TargetScaler(std)

@@ -1,0 +1,103 @@
+"""Prediction-target definitions (paper Table I).
+
+A :class:`TargetSpec` names a target, says which node type carries it, and
+extracts the per-node ground-truth vector from a graph + layout pair.  One
+independent model is trained per target, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits import devices as dev
+from repro.errors import DatasetError
+from repro.graph.hetero import HeteroGraph
+from repro.layout.lde import NUM_LDE
+from repro.layout.synthesizer import LayoutResult
+
+#: Node types that carry device-parameter targets (thin + thick MOSFETs).
+MOS_NODE_TYPES = (dev.TRANSISTOR, dev.TRANSISTOR_THICKGATE)
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """One prediction target.
+
+    Attributes
+    ----------
+    name:
+        ``CAP``, ``LDE1``..``LDE8``, ``SA``, ``DA``, ``SP``, ``DP``.
+    kind:
+        ``"net"`` or ``"device"`` — which node population is predicted.
+    """
+
+    name: str
+    kind: str
+
+    def node_ids(self, graph: HeteroGraph) -> np.ndarray:
+        """Global node ids of the population carrying this target."""
+        if self.kind == "net":
+            return graph.nodes_of_type.get(dev.NET, np.empty(0, dtype=np.int64))
+        ids = [
+            graph.nodes_of_type[t]
+            for t in MOS_NODE_TYPES
+            if t in graph.nodes_of_type
+        ]
+        if not ids:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(ids))
+
+    def values(self, graph: HeteroGraph, layout: LayoutResult) -> np.ndarray:
+        """Ground-truth values aligned with :meth:`node_ids`."""
+        ids = self.node_ids(graph)
+        out = np.empty(len(ids), dtype=np.float64)
+        for k, node_id in enumerate(ids):
+            name = graph.node_name_of[node_id]
+            if self.kind == "net":
+                out[k] = (
+                    layout.res_of(name) if self.name == "RES" else layout.cap_of(name)
+                )
+            else:
+                try:
+                    out[k] = layout.device_params[name].value(self.name)
+                except KeyError:
+                    raise DatasetError(
+                        f"no layout targets for device {name!r}"
+                    ) from None
+        return out
+
+
+#: The net-parasitics target.
+CAP_TARGET = TargetSpec("CAP", "net")
+
+#: Net trace resistance — the paper's stated future work, included here as
+#: an extension target (not part of the paper's 13-target comparison).
+RES_TARGET = TargetSpec("RES", "net")
+
+#: The twelve device-parameter targets (LDE1..8, SA, DA, SP, DP).
+DEVICE_TARGETS = tuple(
+    TargetSpec(f"LDE{i}", "device") for i in range(1, NUM_LDE + 1)
+) + tuple(TargetSpec(name, "device") for name in ("SA", "DA", "SP", "DP"))
+
+#: All paper targets in canonical reporting order (CAP first, as in Fig. 6).
+ALL_TARGETS = (CAP_TARGET, *DEVICE_TARGETS)
+
+_BY_NAME = {spec.name: spec for spec in (*ALL_TARGETS, RES_TARGET)}
+
+
+def target_by_name(name: str) -> TargetSpec:
+    """Look up a target spec by name.
+
+    Raises
+    ------
+    DatasetError
+        For unknown target names.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown target {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

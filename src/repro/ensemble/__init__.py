@@ -1,0 +1,17 @@
+"""Ensemble modeling for wide-range capacitance prediction (paper §IV)."""
+
+from repro.ensemble.ensemble import (
+    DEFAULT_MAX_V,
+    CapacitanceEnsemble,
+    RangeModel,
+    combine_predictions,
+    train_capacitance_ensemble,
+)
+
+__all__ = [
+    "DEFAULT_MAX_V",
+    "CapacitanceEnsemble",
+    "RangeModel",
+    "combine_predictions",
+    "train_capacitance_ensemble",
+]

@@ -1,0 +1,139 @@
+"""Ensemble modeling for net parasitic capacitance (paper §IV).
+
+A single full-range CAP model treats everything below ~1% of its maximum as
+noise, so small capacitances predict poorly (paper Fig. 5a).  The remedy is
+a set of range models trained with clamped maximum target values
+(``max_v`` = 1 fF, 10 fF, 100 fF, plus the full-range model) combined by
+Algorithm 2: start from the lowest-range model's prediction and replace it
+with a higher-range model's whenever that model predicts a value beyond the
+lower model's ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.data.dataset import CircuitRecord, DatasetBundle
+from repro.data.targets import CAP_TARGET
+from repro.errors import ModelError
+from repro.analysis.metrics import summarize
+from repro.models.trainer import TargetPredictor, TrainConfig
+
+#: Paper §IV range-model ceilings, in farads (plus the full-range model).
+DEFAULT_MAX_V = (1e-15, 10e-15, 100e-15)
+
+
+class CapPredictor(Protocol):
+    """Anything that predicts per-net capacitance for a record."""
+
+    def predict(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]: ...
+
+
+@dataclass
+class RangeModel:
+    """One ensemble member: a predictor trained with ceiling ``max_v``."""
+
+    max_v: float  # inf for the full-range model
+    predictor: CapPredictor
+
+
+def combine_predictions(
+    predictions: Sequence[np.ndarray], max_vs: Sequence[float]
+) -> np.ndarray:
+    """Algorithm 2 on pre-computed predictions.
+
+    ``predictions[i]`` comes from the model with ceiling ``max_vs[i]``;
+    models must be ordered by ascending ceiling.  Starting from the lowest
+    model, a higher model's prediction replaces the current one whenever it
+    exceeds the next-lower ceiling.
+    """
+    if len(predictions) != len(max_vs):
+        raise ModelError("predictions/max_vs length mismatch")
+    if len(predictions) == 0:
+        raise ModelError("ensemble needs at least one model")
+    if list(max_vs) != sorted(max_vs):
+        raise ModelError("ensemble models must be sorted by ascending max_v")
+    combined = np.array(predictions[0], dtype=np.float64, copy=True)
+    for i in range(1, len(predictions)):
+        candidate = np.asarray(predictions[i], dtype=np.float64)
+        replace = candidate > max_vs[i - 1]
+        combined[replace] = candidate[replace]
+    return combined
+
+
+@dataclass
+class CapacitanceEnsemble:
+    """The full §IV ensemble: K range models + Algorithm 2 selection."""
+
+    models: list[RangeModel] = field(default_factory=list)
+
+    def __post_init__(self):
+        ceilings = [m.max_v for m in self.models]
+        if ceilings != sorted(ceilings):
+            raise ModelError("RangeModels must be ordered by ascending max_v")
+
+    def predict(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]:
+        """(net node_ids, combined capacitance predictions)."""
+        if not self.models:
+            raise ModelError("ensemble has no models")
+        ids_ref: np.ndarray | None = None
+        predictions = []
+        for member in self.models:
+            ids, pred = member.predictor.predict(record)
+            if ids_ref is None:
+                ids_ref = ids
+            elif not np.array_equal(ids, ids_ref):
+                raise ModelError("ensemble members disagree on node ids")
+            predictions.append(pred)
+        combined = combine_predictions(predictions, [m.max_v for m in self.models])
+        return ids_ref, combined
+
+    def predict_named(self, record: CircuitRecord) -> dict[str, float]:
+        ids, preds = self.predict(record)
+        return {
+            record.graph.node_name_of[node_id]: float(value)
+            for node_id, value in zip(ids, preds)
+        }
+
+    def evaluate(
+        self, records: list[CircuitRecord], mape_eps: float = 0.0
+    ) -> dict[str, float]:
+        truths, preds = self.collect(records)
+        return summarize(truths, preds, mape_eps=mape_eps)
+
+    def collect(
+        self, records: list[CircuitRecord]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        truths, preds = [], []
+        for record in records:
+            _, truth = record.target_arrays(CAP_TARGET)
+            _, pred = self.predict(record)
+            truths.append(truth)
+            preds.append(pred)
+        return np.concatenate(truths), np.concatenate(preds)
+
+
+def train_capacitance_ensemble(
+    bundle: DatasetBundle,
+    conv: str = "paragraph",
+    max_vs: Sequence[float] = DEFAULT_MAX_V,
+    config: TrainConfig | None = None,
+) -> CapacitanceEnsemble:
+    """Train the range models plus the full-range model and assemble them.
+
+    Each member reuses *config* but overrides ``max_v``; the full-range
+    member (ceiling inf) trains unclamped.
+    """
+    base = config or TrainConfig()
+    members: list[RangeModel] = []
+    for ceiling in sorted(max_vs):
+        cfg = TrainConfig(**{**base.__dict__, "max_v": ceiling})
+        predictor = TargetPredictor(conv, "CAP", cfg).fit(bundle)
+        members.append(RangeModel(max_v=ceiling, predictor=predictor))
+    full_cfg = TrainConfig(**{**base.__dict__, "max_v": None})
+    full = TargetPredictor(conv, "CAP", full_cfg).fit(bundle)
+    members.append(RangeModel(max_v=float("inf"), predictor=full))
+    return CapacitanceEnsemble(models=members)

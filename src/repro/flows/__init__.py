@@ -1,0 +1,11 @@
+"""High-level user workflows built on the core library."""
+
+from repro.flows.report import PrelayoutReport, prelayout_report
+from repro.flows.training import MultiTargetModel, train_all_targets
+
+__all__ = [
+    "PrelayoutReport",
+    "prelayout_report",
+    "MultiTargetModel",
+    "train_all_targets",
+]

@@ -1,0 +1,82 @@
+"""Multi-target training: the full ParaGraph model suite in one call.
+
+The paper trains an independent model per target (13 paper targets + the
+RES extension).  :func:`train_all_targets` drives that loop and returns a
+:class:`MultiTargetModel` that predicts everything for a schematic at once —
+the object a designer would actually hold.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.circuits.netlist import Circuit
+from repro.data import ALL_TARGETS, DatasetBundle
+from repro.errors import ModelError
+from repro.models.trainer import TargetPredictor, TrainConfig
+
+
+@dataclass
+class MultiTargetModel:
+    """A bundle of per-target predictors sharing one training dataset."""
+
+    predictors: dict[str, TargetPredictor] = field(default_factory=dict)
+
+    def predict_all(self, circuit: Circuit) -> dict[str, dict[str, float]]:
+        """``{target: {net_or_instance: value}}`` for a schematic."""
+        return {
+            name: predictor.predict_circuit(circuit)
+            for name, predictor in self.predictors.items()
+        }
+
+    def predictor(self, target: str) -> TargetPredictor:
+        try:
+            return self.predictors[target]
+        except KeyError:
+            raise ModelError(
+                f"no trained predictor for {target!r}; have {sorted(self.predictors)}"
+            ) from None
+
+    def save_dir(self, directory: str | os.PathLike) -> None:
+        """Save every predictor as ``<directory>/<target>.npz``."""
+        os.makedirs(directory, exist_ok=True)
+        for name, predictor in self.predictors.items():
+            predictor.save(os.path.join(directory, f"{name}.npz"))
+
+    @classmethod
+    def load_dir(cls, directory: str | os.PathLike) -> "MultiTargetModel":
+        """Load every ``*.npz`` predictor from a directory."""
+        model = cls()
+        for entry in sorted(os.listdir(directory)):
+            if entry.endswith(".npz"):
+                predictor = TargetPredictor.load(os.path.join(directory, entry))
+                model.predictors[predictor.spec.name] = predictor
+        if not model.predictors:
+            raise ModelError(f"no .npz models found in {directory}")
+        return model
+
+
+def train_all_targets(
+    bundle: DatasetBundle,
+    targets: Iterable[str] | None = None,
+    conv: str = "paragraph",
+    config: TrainConfig | None = None,
+    verbose: bool = False,
+) -> MultiTargetModel:
+    """Train one predictor per target name (defaults to the 13 paper targets)."""
+    names = list(targets) if targets is not None else [t.name for t in ALL_TARGETS]
+    base = config or TrainConfig(epochs=60)
+    model = MultiTargetModel()
+    for name in names:
+        cfg_kwargs = dict(base.__dict__)
+        if name != "CAP":
+            cfg_kwargs["max_v"] = None
+        predictor = TargetPredictor(conv, name, TrainConfig(**cfg_kwargs))
+        predictor.fit(bundle)
+        if verbose:
+            metrics = predictor.evaluate(bundle.records("test"))
+            print(f"  {name}: R2={metrics['r2']:.3f}")
+        model.predictors[name] = predictor
+    return model

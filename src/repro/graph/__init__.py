@@ -1,0 +1,34 @@
+"""Heterogeneous circuit graphs: structure, features, construction."""
+
+from repro.graph.builder import all_edge_type_names, build_graph
+from repro.graph.features import (
+    NET_FEATURES,
+    device_feature_names,
+    device_features,
+    feature_dim,
+    net_features,
+)
+from repro.graph.hetero import (
+    HeteroGraph,
+    edge_type_name,
+    merge_graphs,
+    reverse_edge_type,
+)
+from repro.graph.stats import GraphStats, dataset_stats, graph_stats
+
+__all__ = [
+    "all_edge_type_names",
+    "build_graph",
+    "NET_FEATURES",
+    "device_feature_names",
+    "device_features",
+    "feature_dim",
+    "net_features",
+    "HeteroGraph",
+    "edge_type_name",
+    "merge_graphs",
+    "reverse_edge_type",
+    "GraphStats",
+    "dataset_stats",
+    "graph_stats",
+]

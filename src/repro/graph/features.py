@@ -1,0 +1,36 @@
+"""Schematic input features (paper Table II).
+
+Device nodes get their device-type feature vector; net nodes get the fanout
+count N.  Feature values here are *raw* (SI units); log/standard scaling is
+applied by :mod:`repro.data.normalize` at training time.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit, Instance
+
+#: Feature names for net nodes (paper Table II, "net" row).
+NET_FEATURES = ("N",)
+
+
+def device_feature_names(device_type: str) -> tuple[str, ...]:
+    """Table II feature names for a device type."""
+    return dev.spec_for(device_type).features
+
+
+def device_features(inst: Instance) -> list[float]:
+    """Raw Table II feature vector for a device instance."""
+    return dev.spec_for(inst.device_type).feature_vector(inst.params)
+
+
+def net_features(circuit: Circuit, net_name: str) -> list[float]:
+    """Raw Table II feature vector for a net (fanout count)."""
+    return [float(circuit.fanout(net_name))]
+
+
+def feature_dim(node_type: str) -> int:
+    """Raw feature dimension for a node type (net or device)."""
+    if node_type == dev.NET:
+        return len(NET_FEATURES)
+    return len(device_feature_names(node_type))

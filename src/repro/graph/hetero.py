@@ -1,0 +1,163 @@
+"""Heterogeneous graph structure (paper §II-B).
+
+A :class:`HeteroGraph` holds typed nodes (devices + nets) and typed directed
+edges (one type per device terminal and direction, e.g.
+``net->transistor_gate`` and ``transistor_gate->net``).  Node ids are global
+(0..N-1) so message passing can run on flat arrays; per-type feature matrices
+are kept separately because each node type has its own feature dimension
+(paper Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+
+
+def edge_type_name(src_kind: str, dst_kind: str) -> str:
+    """Canonical edge-type label, e.g. ``net->transistor_gate``."""
+    return f"{src_kind}->{dst_kind}"
+
+
+def reverse_edge_type(edge_type: str) -> str:
+    """The opposing edge type (paper: every edge has an opposite-type twin)."""
+    try:
+        src, dst = edge_type.split("->")
+    except ValueError:
+        raise GraphConstructionError(f"malformed edge type {edge_type!r}") from None
+    return f"{dst}->{src}"
+
+
+@dataclass
+class HeteroGraph:
+    """A typed circuit graph.
+
+    Attributes
+    ----------
+    name:
+        Source circuit name.
+    node_type_of:
+        Node type name per global node id (length ``num_nodes``).
+    node_name_of:
+        Net name (net nodes) or instance name (device nodes) per node.
+    nodes_of_type:
+        Type name -> sorted array of global node ids.
+    features:
+        Type name -> feature matrix whose rows align with
+        ``nodes_of_type[type]``.
+    edges:
+        Edge-type name -> ``(src, dst)`` arrays of global node ids.
+    net_nodes / device_nodes:
+        Name -> global node id lookup maps.
+    """
+
+    name: str
+    node_type_of: list[str] = field(default_factory=list)
+    node_name_of: list[str] = field(default_factory=list)
+    nodes_of_type: dict[str, np.ndarray] = field(default_factory=dict)
+    features: dict[str, np.ndarray] = field(default_factory=dict)
+    edges: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    net_nodes: dict[str, int] = field(default_factory=dict)
+    device_nodes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_type_of)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(src) for src, _ in self.edges.values())
+
+    @property
+    def node_types(self) -> list[str]:
+        """Node types present, in deterministic order."""
+        return sorted(self.nodes_of_type)
+
+    @property
+    def edge_types(self) -> list[str]:
+        """Edge types present, in deterministic order."""
+        return sorted(self.edges)
+
+    def degree(self, node_id: int) -> int:
+        """Total incoming edge count across all edge types."""
+        return int(
+            sum(int((dst == node_id).sum()) for _, dst in self.edges.values())
+        )
+
+    def validate(self) -> None:
+        """Check internal consistency; raise on violation."""
+        n = self.num_nodes
+        if len(self.node_name_of) != n:
+            raise GraphConstructionError("node name/type arrays disagree")
+        seen = np.zeros(n, dtype=bool)
+        for type_name, ids in self.nodes_of_type.items():
+            if type_name not in self.features:
+                raise GraphConstructionError(f"missing features for {type_name!r}")
+            if len(self.features[type_name]) != len(ids):
+                raise GraphConstructionError(
+                    f"feature rows for {type_name!r} do not match node count"
+                )
+            if seen[ids].any():
+                raise GraphConstructionError("node listed under two types")
+            seen[ids] = True
+        if not seen.all():
+            raise GraphConstructionError("node missing from nodes_of_type")
+        for edge_type, (src, dst) in self.edges.items():
+            if len(src) != len(dst):
+                raise GraphConstructionError(f"ragged edge arrays for {edge_type!r}")
+            if len(src) and (src.max() >= n or dst.max() >= n or src.min() < 0):
+                raise GraphConstructionError(f"edge index out of range in {edge_type!r}")
+            twin = reverse_edge_type(edge_type)
+            if twin not in self.edges or len(self.edges[twin][0]) != len(src):
+                raise GraphConstructionError(
+                    f"edge type {edge_type!r} lacks a matching {twin!r}"
+                )
+
+    def feature_matrix(self, type_name: str) -> np.ndarray:
+        """Feature rows for one node type (aligned with ``nodes_of_type``)."""
+        try:
+            return self.features[type_name]
+        except KeyError:
+            raise GraphConstructionError(
+                f"no features for node type {type_name!r}"
+            ) from None
+
+
+def merge_graphs(graphs: list[HeteroGraph], name: str = "merged") -> HeteroGraph:
+    """Disjoint union of several graphs (for whole-dataset training).
+
+    Node ids are offset per input graph; node names are prefixed with the
+    source graph name (``t3/netA``).
+    """
+    if not graphs:
+        raise GraphConstructionError("merge_graphs needs at least one graph")
+    merged = HeteroGraph(name=name)
+    offset = 0
+    per_type_ids: dict[str, list[np.ndarray]] = {}
+    per_type_feats: dict[str, list[np.ndarray]] = {}
+    per_edge: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+    for g in graphs:
+        merged.node_type_of.extend(g.node_type_of)
+        merged.node_name_of.extend(f"{g.name}/{n}" for n in g.node_name_of)
+        for type_name, ids in g.nodes_of_type.items():
+            per_type_ids.setdefault(type_name, []).append(ids + offset)
+            per_type_feats.setdefault(type_name, []).append(g.features[type_name])
+        for edge_type, (src, dst) in g.edges.items():
+            per_edge.setdefault(edge_type, []).append((src + offset, dst + offset))
+        for net, nid in g.net_nodes.items():
+            merged.net_nodes[f"{g.name}/{net}"] = nid + offset
+        for devname, nid in g.device_nodes.items():
+            merged.device_nodes[f"{g.name}/{devname}"] = nid + offset
+        offset += g.num_nodes
+    for type_name in per_type_ids:
+        merged.nodes_of_type[type_name] = np.concatenate(per_type_ids[type_name])
+        merged.features[type_name] = np.concatenate(per_type_feats[type_name], axis=0)
+    for edge_type, pieces in per_edge.items():
+        merged.edges[edge_type] = (
+            np.concatenate([s for s, _ in pieces]),
+            np.concatenate([d for _, d in pieces]),
+        )
+    return merged

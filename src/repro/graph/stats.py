@@ -1,0 +1,67 @@
+"""Graph statistics: summaries for dataset reports and sanity checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.hetero import HeteroGraph
+
+
+@dataclass
+class GraphStats:
+    """Structural summary of one heterogeneous graph."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    nodes_per_type: dict[str, int] = field(default_factory=dict)
+    edges_per_type: dict[str, int] = field(default_factory=dict)
+    mean_net_degree: float = 0.0
+    max_net_degree: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"graph {self.name}: {self.num_nodes} nodes, {self.num_edges} edges",
+            "  nodes: "
+            + ", ".join(f"{t}={n}" for t, n in sorted(self.nodes_per_type.items())),
+            f"  net degree: mean {self.mean_net_degree:.2f}, max {self.max_net_degree}",
+        ]
+        return "\n".join(lines)
+
+
+def graph_stats(graph: HeteroGraph) -> GraphStats:
+    """Compute a :class:`GraphStats` summary."""
+    stats = GraphStats(
+        name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        nodes_per_type={t: len(ids) for t, ids in graph.nodes_of_type.items()},
+        edges_per_type={et: len(src) for et, (src, _) in graph.edges.items()},
+    )
+    net_ids = graph.nodes_of_type.get("net")
+    if net_ids is not None and len(net_ids):
+        in_degree = np.zeros(graph.num_nodes, dtype=np.int64)
+        for _, dst in graph.edges.values():
+            np.add.at(in_degree, dst, 1)
+        degrees = in_degree[net_ids]
+        stats.mean_net_degree = float(degrees.mean())
+        stats.max_net_degree = int(degrees.max())
+    return stats
+
+
+def dataset_stats(graphs: list[HeteroGraph]) -> dict[str, float]:
+    """Aggregate statistics over many graphs (dataset-level report)."""
+    if not graphs:
+        return {"graphs": 0, "nodes": 0, "edges": 0}
+    per_graph = [graph_stats(g) for g in graphs]
+    return {
+        "graphs": len(graphs),
+        "nodes": sum(s.num_nodes for s in per_graph),
+        "edges": sum(s.num_edges for s in per_graph),
+        "mean_net_degree": float(
+            np.mean([s.mean_net_degree for s in per_graph])
+        ),
+        "max_net_degree": max(s.max_net_degree for s in per_graph),
+    }

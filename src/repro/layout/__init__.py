@@ -1,0 +1,60 @@
+"""Layout synthesizer: the ground-truth substitute for post-layout extraction."""
+
+from repro.layout.estimator import designer_device_estimate, designer_estimate
+from repro.layout.geometry import DiffusionGeometry, device_geometry, finger_regions
+from repro.layout.lde import NUM_LDE, lde_parameters
+from repro.layout.mts import (
+    ChainLink,
+    DiffusionChain,
+    find_diffusion_chains,
+    sharing_summary,
+)
+from repro.layout.parasitics import net_capacitance, net_resistance, pin_capacitance
+from repro.layout.placement import Placement, place_circuit
+from repro.layout.routing import all_net_lengths, detour_factor, net_length
+from repro.layout.synthesizer import (
+    DEVICE_TARGET_NAMES,
+    DeviceTargets,
+    LayoutResult,
+    synthesize_layout,
+    transistor_names,
+)
+from repro.layout.coupling import (
+    CouplingResult,
+    extract_coupling,
+    ground_cap_after_coupling,
+)
+from repro.layout.tech import DEFAULT_TECH, Technology, corner
+
+__all__ = [
+    "designer_device_estimate",
+    "designer_estimate",
+    "DiffusionGeometry",
+    "device_geometry",
+    "finger_regions",
+    "NUM_LDE",
+    "lde_parameters",
+    "ChainLink",
+    "DiffusionChain",
+    "find_diffusion_chains",
+    "sharing_summary",
+    "net_capacitance",
+    "net_resistance",
+    "pin_capacitance",
+    "Placement",
+    "place_circuit",
+    "all_net_lengths",
+    "detour_factor",
+    "net_length",
+    "DEVICE_TARGET_NAMES",
+    "DeviceTargets",
+    "LayoutResult",
+    "synthesize_layout",
+    "transistor_names",
+    "DEFAULT_TECH",
+    "Technology",
+    "corner",
+    "CouplingResult",
+    "extract_coupling",
+    "ground_cap_after_coupling",
+]

@@ -1,0 +1,82 @@
+"""Designer rule-of-thumb parasitic estimator (Table V baseline).
+
+The paper's "Designer's Estimation" column annotates pre-layout simulations
+with per-net capacitances guessed from experience.  This estimator encodes a
+typical heuristic — a fixed base cap plus a per-fanout increment plus a
+fraction of the connected gate load — that, like the real thing, helps some
+metrics and badly misjudges parasitic-sensitive ones (it knows nothing about
+wire length or floorplan).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.layout.parasitics import pin_capacitance
+from repro.layout.tech import DEFAULT_TECH, Technology
+
+#: Base capacitance a designer pencils in for any routed net.  Designers
+#: guard-band: the base is generous, which overestimates short local nets
+#: (hurting fast paths) while still missing long floorplan-dominated wires.
+BASE_CAP = 1.0e-15
+#: Increment per additional pin beyond the first.
+PER_FANOUT_CAP = 0.6e-15
+#: Fraction of connected-pin capacitance the heuristic accounts for.
+PIN_FRACTION = 1.0
+#: Spread of the per-net judgement factor: estimates vary by up to this
+#: factor either way ("estimation accuracy ... can vary between cases and
+#: individual designers", paper §I).
+JUDGEMENT_SPREAD = 4.0
+
+
+def _judgement_factor(net_name: str) -> float:
+    """Deterministic per-net multiplier in [1/spread, spread].
+
+    Hash-derived so the same net always gets the same guess — this models a
+    designer's judgement call, not random noise.
+    """
+    digest = hashlib.sha256(net_name.encode()).digest()
+    unit = int.from_bytes(digest[:4], "little") / 2**32
+    return JUDGEMENT_SPREAD ** (2.0 * unit - 1.0)
+
+
+def designer_estimate(
+    circuit: Circuit, tech: Technology = DEFAULT_TECH
+) -> dict[str, float]:
+    """Heuristic per-net capacitance estimates for all signal nets."""
+    estimates: dict[str, float] = {}
+    for net in circuit.signal_nets():
+        pins = circuit.instances_on_net(net.name)
+        pin_load = sum(
+            pin_capacitance(inst, terminal, tech) for inst, terminal in pins
+        )
+        base = (
+            BASE_CAP + PER_FANOUT_CAP * max(0, len(pins) - 1) + PIN_FRACTION * pin_load
+        )
+        estimates[net.name] = base * _judgement_factor(net.name)
+    return estimates
+
+
+def designer_device_estimate(circuit: Circuit) -> dict[str, dict[str, float]]:
+    """Heuristic device parameters: assumes no diffusion sharing.
+
+    Designers typically size assuming worst-case (unshared) diffusion; this
+    gives the same value regardless of actual MTS structure.
+    """
+    from repro.layout.geometry import device_geometry
+    from repro.layout.mts import ChainLink
+
+    estimates: dict[str, dict[str, float]] = {}
+    for inst in circuit.instances():
+        if not dev.is_mos(inst.device_type):
+            continue
+        geometry = device_geometry(ChainLink(inst), DEFAULT_TECH)
+        estimates[inst.name] = {
+            "SA": geometry.source_area,
+            "DA": geometry.drain_area,
+            "SP": geometry.source_perimeter,
+            "DP": geometry.drain_perimeter,
+        }
+    return estimates

@@ -1,0 +1,103 @@
+"""Source/drain diffusion geometry (paper Table I: SA, DA, SP, DP).
+
+Implements the finger-level diffusion model of paper Figure 2: a device with
+NF fingers has NF+1 diffusion regions alternating source/drain; regions
+between gates have the inner (compact) length, outer regions the end length
+unless they abut a neighbouring device in the diffusion chain, in which case
+the boundary region is shared and each device owns half of an inner-length
+region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Instance
+from repro.layout.mts import ChainLink
+from repro.layout.tech import Technology
+
+
+@dataclass(frozen=True)
+class DiffusionGeometry:
+    """Geometric device parameters, SI units (m^2 for areas, m for perimeters)."""
+
+    source_area: float
+    drain_area: float
+    source_perimeter: float
+    drain_perimeter: float
+    left_lod: float
+    right_lod: float
+    width: float
+
+
+def finger_regions(nf: int) -> list[str]:
+    """Terminal assignment of the NF+1 diffusion regions, left to right.
+
+    Fingers alternate S-G-D-G-S-...; by convention the leftmost region is a
+    source, so even finger counts end on a source (symmetric device) and odd
+    counts end on a drain.
+    """
+    if nf < 1:
+        raise ValueError("finger count must be >= 1")
+    return ["source" if i % 2 == 0 else "drain" for i in range(nf + 1)]
+
+
+def device_geometry(link: ChainLink, tech: Technology) -> DiffusionGeometry:
+    """Compute SA/DA/SP/DP and per-side LOD for one chain link.
+
+    Sharing reduces the outer region to half an inner region, which is what
+    makes the source diffusion of paper Figure 2's device A twice its drain
+    diffusion.  All quantities scale with MULTI (parallel copies are laid
+    out as separate identical structures).
+    """
+    inst: Instance = link.inst
+    nf = max(1, int(inst.param("NF")))
+    nfin = max(1, int(inst.param("NFIN")))
+    multi = max(1, int(inst.param("MULTI")))
+    width = nfin * tech.fin_pitch
+
+    regions = finger_regions(nf)
+    areas = {"source": 0.0, "drain": 0.0}
+    perims = {"source": 0.0, "drain": 0.0}
+    region_lengths: list[float] = []
+    for index, terminal in enumerate(regions):
+        is_left_end = index == 0
+        is_right_end = index == len(regions) - 1
+        if is_left_end:
+            length = tech.diff_inner / 2 if link.left_shared else tech.diff_end
+        elif is_right_end:
+            length = tech.diff_inner / 2 if link.right_shared else tech.diff_end
+        else:
+            length = tech.diff_inner
+        region_lengths.append(length)
+        areas[terminal] += length * width
+        perimeter = 2.0 * length
+        if (is_left_end and not link.left_shared) or (
+            is_right_end and not link.right_shared
+        ):
+            perimeter += width  # exposed outer edge
+        perims[terminal] += perimeter
+
+    # LOD: distance from the nearest gate to the diffusion edge on each side.
+    left_lod = region_lengths[0] + (nf - 1) * tech.poly_pitch / 2
+    right_lod = region_lengths[-1] + (nf - 1) * tech.poly_pitch / 2
+
+    return DiffusionGeometry(
+        source_area=areas["source"] * multi,
+        drain_area=areas["drain"] * multi,
+        source_perimeter=perims["source"] * multi,
+        drain_perimeter=perims["drain"] * multi,
+        left_lod=left_lod,
+        right_lod=right_lod,
+        width=width,
+    )
+
+
+def device_footprint(inst: Instance, tech: Technology) -> tuple[float, float]:
+    """(width_x, height_y) of a device's layout footprint, MULTI included."""
+    nf = max(1, int(inst.param("NF")))
+    nfin = max(1, int(inst.param("NFIN")))
+    multi = max(1, int(inst.param("MULTI")))
+    x = multi * (nf * tech.poly_pitch + 2 * tech.diff_end)
+    y = max(nfin * tech.fin_pitch, tech.cell_height)
+    return x, y

@@ -1,0 +1,110 @@
+"""Layout-dependent-effect (LDE) parameters (paper Table I: LDE1..LDE8).
+
+Eight per-transistor LDE parameters, averaged across fingers as in the
+paper.  All carry heavy layout-uncertainty noise — which is what makes
+their prediction MAPE large (>100% in paper Figure 7) while SA stays well
+predicted — but each retains a *structural* component a graph model can
+learn: LOD terms follow the diffusion geometry, and the well-proximity
+terms follow the composition of the hosting diffusion chain (wells wrap
+diffusion islands, so a device's distance to the well edge is set by its
+neighbours' widths).
+
+========  =================================================
+LDE1      left length-of-diffusion (LOD-L)
+LDE2      right length-of-diffusion (LOD-R)
+LDE3      mean LOD across fingers
+LDE4      distance to the left well edge of the diffusion island
+LDE5      distance to the right well edge of the diffusion island
+LDE6      vertical distance to the well edge
+LDE7      neighbouring poly-gate spacing
+LDE8      total diffusion length of the hosting chain
+========  =================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layout.geometry import DiffusionGeometry
+from repro.layout.mts import ChainLink, DiffusionChain
+from repro.layout.placement import Placement
+from repro.layout.tech import Technology
+
+#: Number of LDE parameters (paper Table I: x = 1..8).
+NUM_LDE = 8
+
+#: Minimum well-edge distance (design rule floor).
+_WELL_MARGIN = 0.2e-6
+
+
+def chain_diffusion_length(chain: DiffusionChain, tech: Technology) -> float:
+    """Total diffusion length of a chain (strain/LOD context for LDE8)."""
+    total = 0.0
+    for link in chain.links:
+        nf = max(1, int(link.inst.param("NF")))
+        total += nf * tech.poly_pitch
+        left = tech.diff_inner / 2 if link.left_shared else tech.diff_end
+        right = tech.diff_inner / 2 if link.right_shared else tech.diff_end
+        total += left + right
+    return total
+
+
+def _device_strip_width(link: ChainLink, tech: Technology) -> float:
+    """Horizontal extent of one device inside its diffusion strip."""
+    nf = max(1, int(link.inst.param("NF")))
+    return nf * tech.poly_pitch + tech.diff_inner
+
+
+def lde_parameters(
+    link: ChainLink,
+    chain: DiffusionChain,
+    geometry: DiffusionGeometry,
+    placement: Placement,
+    tech: Technology,
+    rng: np.random.Generator,
+) -> list[float]:
+    """The eight LDE values for one device, in metres."""
+    del placement  # well distances follow the chain, not absolute placement
+
+    def lognoise(sigma: float) -> float:
+        return float(np.exp(rng.normal(0.0, sigma)))
+
+    lod_l = geometry.left_lod * lognoise(tech.noise_lod)
+    lod_r = geometry.right_lod * lognoise(tech.noise_lod)
+    lod_mean = 0.5 * (geometry.left_lod + geometry.right_lod) * lognoise(
+        tech.noise_lod / 2
+    )
+
+    # Well edges wrap the diffusion island: the distance from this device to
+    # the island's left/right edge is the accumulated width of its chain
+    # predecessors/successors (learnable 2-hop structure), plus margin.
+    position = next(
+        i for i, other in enumerate(chain.links) if other.inst.name == link.inst.name
+    )
+    left_extent = sum(
+        _device_strip_width(other, tech) for other in chain.links[:position]
+    )
+    right_extent = sum(
+        _device_strip_width(other, tech) for other in chain.links[position + 1:]
+    )
+    well_left = (_WELL_MARGIN + left_extent) * lognoise(tech.noise_well)
+    well_right = (_WELL_MARGIN + right_extent) * lognoise(tech.noise_well)
+    nfin = max(1, int(link.inst.param("NFIN")))
+    vertical_gap = max(tech.cell_height - nfin * tech.fin_pitch, tech.fin_pitch)
+    well_vert = (_WELL_MARGIN + vertical_gap) * lognoise(tech.noise_well)
+
+    neighbour_spacing = tech.poly_pitch * (
+        1.0 if (link.left_shared or link.right_shared) else 2.0
+    ) * lognoise(tech.noise_lod)
+    chain_length = chain_diffusion_length(chain, tech) * lognoise(tech.noise_lod / 2)
+
+    return [
+        lod_l,
+        lod_r,
+        lod_mean,
+        well_left,
+        well_right,
+        well_vert,
+        neighbour_spacing,
+        chain_length,
+    ]

@@ -1,0 +1,148 @@
+"""Maximal-transistor-series (MTS) / diffusion-sharing analysis.
+
+The previous-generation flow the paper describes (Yoshida et al., DAC'04)
+required designers to identify MTS groups by hand; here we compute them
+structurally.  Two MOSFETs can share (abut) a diffusion region when they
+
+* are the same device type (thin vs thick gate) and polarity,
+* have the same fin count (equal diffusion height),
+* share a bulk net, and
+* share a *signal* source/drain net through which the layout merges them —
+  series stacks, differential pairs, cascodes.  Rail-connected devices are
+  packed by the placer but keep their own diffusion (dummy-poly isolation),
+  which matches how MTS is defined in the paper's prior-work reference
+  (Yoshida et al., DAC'04: *maximal transistor series*).
+
+Each device has two diffusion ends, so a shared net joins at most two
+devices into a chain; the algorithm below builds maximal chains greedily in
+deterministic (name-sorted) order, mirroring how a router/placer would pack
+a diffusion row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit, Instance, is_supply_name
+
+
+def _sharing_key(inst: Instance) -> tuple:
+    return (
+        inst.device_type,
+        inst.param("TYPE"),
+        inst.param("NFIN"),
+        inst.net_of("bulk"),
+    )
+
+
+@dataclass
+class ChainLink:
+    """One transistor's position inside a diffusion chain.
+
+    ``left_shared``/``right_shared`` say whether the leftmost/rightmost
+    diffusion of this device abuts a neighbouring device.
+    """
+
+    inst: Instance
+    left_shared: bool = False
+    right_shared: bool = False
+
+
+@dataclass
+class DiffusionChain:
+    """A maximal run of diffusion-sharing transistors."""
+
+    links: list[ChainLink] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.links)
+
+    def total_fingers(self) -> int:
+        return sum(int(link.inst.param("NF")) for link in self.links)
+
+
+#: Row capacity: a diffusion strip cannot run longer than a placement row,
+#: so chains are broken after this many devices.
+MAX_CHAIN_LENGTH = 16
+
+
+def find_diffusion_chains(
+    circuit: Circuit, max_chain_length: int = MAX_CHAIN_LENGTH
+) -> list[DiffusionChain]:
+    """Group the circuit's MOSFETs into maximal diffusion-sharing chains.
+
+    Returns one :class:`DiffusionChain` per group (singletons included), in
+    deterministic order.  Every MOSFET appears in exactly one chain.  Chains
+    are capped at *max_chain_length* devices (diffusion strips cannot exceed
+    the placement row).
+    """
+    mosfets = sorted(
+        (inst for inst in circuit.instances() if dev.is_mos(inst.device_type)),
+        key=lambda inst: inst.name,
+    )
+    # Bucket compatible devices by *signal* S/D net so we can find abutment
+    # partners; rail nets (vdd/vss) do not merge diffusion.
+    by_key_and_net: dict[tuple, dict[str, list[Instance]]] = {}
+    for inst in mosfets:
+        key = _sharing_key(inst)
+        buckets = by_key_and_net.setdefault(key, {})
+        for terminal in ("source", "drain"):
+            net_name = inst.net_of(terminal)
+            if is_supply_name(net_name):
+                continue
+            buckets.setdefault(net_name, []).append(inst)
+
+    used: set[str] = set()
+    chains: list[DiffusionChain] = []
+    for inst in mosfets:
+        if inst.name in used:
+            continue
+        chain = DiffusionChain(links=[ChainLink(inst)])
+        used.add(inst.name)
+        key = _sharing_key(inst)
+        buckets = by_key_and_net[key]
+
+        # Extend to the right from the chain's last device, then to the left
+        # from the first, always through an S/D net shared with an unused
+        # compatible device.
+        def partner(of: Instance) -> Instance | None:
+            for terminal in ("drain", "source"):
+                net = of.net_of(terminal)
+                for candidate in buckets.get(net, ()):
+                    if candidate.name != of.name and candidate.name not in used:
+                        return candidate
+            return None
+
+        while chain.length < max_chain_length:
+            nxt = partner(chain.links[-1].inst)
+            if nxt is None:
+                break
+            chain.links[-1].right_shared = True
+            chain.links.append(ChainLink(nxt, left_shared=True))
+            used.add(nxt.name)
+        while chain.length < max_chain_length:
+            prv = partner(chain.links[0].inst)
+            if prv is None:
+                break
+            chain.links[0].left_shared = True
+            chain.links.insert(0, ChainLink(prv, right_shared=True))
+            used.add(prv.name)
+        chains.append(chain)
+    return chains
+
+
+def sharing_summary(chains: list[DiffusionChain]) -> dict[str, int]:
+    """Counters for reporting/testing: devices, chains, shared boundaries."""
+    shared = sum(
+        int(link.left_shared) + int(link.right_shared)
+        for chain in chains
+        for link in chain.links
+    )
+    return {
+        "devices": sum(chain.length for chain in chains),
+        "chains": len(chains),
+        "shared_boundaries": shared // 2,
+        "longest_chain": max((chain.length for chain in chains), default=0),
+    }

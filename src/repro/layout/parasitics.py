@@ -1,0 +1,127 @@
+"""Net parasitic capacitance extraction (paper Table I: CAP).
+
+Per-net lumped capacitance = wire capacitance (length x per-length
+coefficient, with layout-uncertainty noise) + the pin capacitances of every
+connected device terminal.  The noise level grows with net size, modelling
+the paper's observation that large (floorplan-dominated) nets are inherently
+harder to predict.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit, Instance
+from repro.layout.tech import Technology
+
+
+def pin_capacitance(inst: Instance, terminal: str, tech: Technology) -> float:
+    """Capacitance contributed by one device pin, in farads."""
+    if dev.is_mos(inst.device_type):
+        nf = max(1, int(inst.param("NF")))
+        nfin = max(1, int(inst.param("NFIN")))
+        multi = max(1, int(inst.param("MULTI")))
+        scale = tech.thick_cap_scale if inst.device_type == dev.TRANSISTOR_THICKGATE else 1.0
+        if terminal == "gate":
+            return tech.gate_cap_per_fin * nfin * nf * multi * scale
+        if terminal in ("source", "drain"):
+            # roughly half the diffusion regions belong to each terminal
+            regions = (nf + 1) / 2.0
+            return tech.sd_cap_per_fin * nfin * regions * multi * scale
+        return 0.0  # bulk ties are in-cell
+    if inst.device_type == dev.CAPACITOR:
+        # Plate parasitics scale with the explicit capacitor value: big MOM/MIM
+        # structures drag a bottom-plate fraction onto the net.
+        multi = max(1, int(inst.param("MULTI")))
+        value = inst.param("C", 25e-15 * multi)
+        return tech.pin_cap_passive * multi + tech.cap_value_fraction * value
+    if inst.device_type == dev.RESISTOR:
+        return tech.pin_cap_passive * (0.5 + inst.param("L") / 4e-6)
+    if inst.device_type == dev.DIODE:
+        return tech.pin_cap_passive * max(1, int(inst.param("NF")))
+    if inst.device_type == dev.BJT:
+        return 2.0 * tech.pin_cap_passive
+    return 0.0
+
+
+def wire_capacitance(
+    length: float, tech: Technology, rng: np.random.Generator
+) -> float:
+    """Noisy wire capacitance for a routed length.
+
+    The lognormal sigma starts at ``tech.noise_cap`` and grows with length
+    (up to +0.25) to model floorplan uncertainty on long nets.
+    """
+    if length <= 0:
+        return 0.0
+    sigma = tech.noise_cap + 0.25 * min(1.0, length / 20e-6)
+    noise = math.exp(rng.normal(0.0, sigma))
+    return length * tech.cap_per_length * noise
+
+
+def net_capacitance(
+    circuit: Circuit,
+    net_name: str,
+    length: float,
+    tech: Technology,
+    rng: np.random.Generator,
+) -> float:
+    """Total lumped parasitic capacitance of one net, in farads."""
+    total = wire_capacitance(length, tech, rng)
+    for inst, terminal in circuit.instances_on_net(net_name):
+        total += pin_capacitance(inst, terminal, tech)
+    return total
+
+
+def extract_capacitances(
+    circuit: Circuit,
+    lengths: dict[str, float],
+    tech: Technology,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """CAP ground truth for every signal net (deterministic given the rng)."""
+    caps: dict[str, float] = {}
+    for net in circuit.signal_nets():
+        caps[net.name] = net_capacitance(
+            circuit, net.name, lengths.get(net.name, 0.0), tech, rng
+        )
+    return caps
+
+
+def net_resistance(
+    circuit: Circuit,
+    net_name: str,
+    length: float,
+    tech: Technology,
+    rng: np.random.Generator,
+) -> float:
+    """Effective lumped trace resistance of one net, in ohms.
+
+    The paper defers resistance to future work because multi-path trace
+    resistance explodes netlist size; the lumped effective value here is the
+    trace resistance of the estimated route (parallelised across branches
+    for high-fanout nets) plus per-pin via resistance.
+    """
+    pins = max(1, circuit.fanout(net_name))
+    branches = 1.0 + 0.5 * (pins - 1)  # current spreads over branches
+    trace = length * tech.res_per_length / branches
+    noise = math.exp(rng.normal(0.0, tech.noise_cap * 1.5))
+    return trace * noise + tech.via_resistance * pins
+
+
+def extract_resistances(
+    circuit: Circuit,
+    lengths: dict[str, float],
+    tech: Technology,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """RES ground truth for every signal net (extension target)."""
+    res: dict[str, float] = {}
+    for net in circuit.signal_nets():
+        res[net.name] = net_resistance(
+            circuit, net.name, lengths.get(net.name, 0.0), tech, rng
+        )
+    return res

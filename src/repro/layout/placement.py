@@ -1,0 +1,164 @@
+"""Row-based procedural placement.
+
+Diffusion chains are placed left-to-right into rows of fixed width; passive
+devices follow.  The resulting coordinates drive routing-length estimation
+and the well-proximity LDE parameters.  A small seeded jitter models the
+placement freedom a human layouter has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit, Instance, is_supply_name
+from repro.layout.geometry import device_footprint
+from repro.layout.mts import DiffusionChain
+from repro.layout.tech import Technology
+
+
+@dataclass
+class PlacedDevice:
+    """Placement record for one instance."""
+
+    name: str
+    x: float  # left edge
+    y: float  # row baseline
+    width: float
+    height: float
+    row: int
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2, self.y + self.height / 2)
+
+
+@dataclass
+class Placement:
+    """Full placement of a circuit."""
+
+    devices: dict[str, PlacedDevice] = field(default_factory=dict)
+    num_rows: int = 0
+    die_width: float = 0.0
+    die_height: float = 0.0
+
+    def position_of(self, inst_name: str) -> tuple[float, float]:
+        return self.devices[inst_name].center
+
+
+def _passive_footprint(inst: Instance, tech: Technology) -> tuple[float, float]:
+    if inst.device_type == dev.RESISTOR:
+        return inst.param("L"), 4 * tech.cell_height
+    if inst.device_type == dev.CAPACITOR:
+        multi = max(1, int(inst.param("MULTI")))
+        return multi * 1.0e-6, 4 * tech.cell_height
+    if inst.device_type == dev.DIODE:
+        nf = max(1, int(inst.param("NF")))
+        return nf * 0.3e-6, 2 * tech.cell_height
+    if inst.device_type == dev.BJT:
+        return 2.0e-6, 8 * tech.cell_height
+    raise ValueError(f"not a passive device: {inst.device_type}")
+
+
+#: Nets with more pins than this are treated as global (ignored when
+#: clustering units for placement — a placer cannot keep a 50-pin net local).
+LOCAL_NET_MAX_FANOUT = 8
+
+
+def _connectivity_order(
+    circuit: Circuit, units: list[list[Instance]]
+) -> list[int]:
+    """BFS order over placement units connected through local signal nets.
+
+    Keeping connected units adjacent is what a wirelength-driven placer
+    does; without it, local-net lengths would grow with die size and the
+    CAP ground truth would not be learnable from schematic structure.
+    """
+    net_to_units: dict[str, list[int]] = {}
+    for index, unit in enumerate(units):
+        for inst in unit:
+            for net_name in inst.conns.values():
+                if is_supply_name(net_name):
+                    continue
+                bucket = net_to_units.setdefault(net_name, [])
+                if not bucket or bucket[-1] != index:
+                    bucket.append(index)
+    adjacency: dict[int, list[int]] = {i: [] for i in range(len(units))}
+    for net_name, members in net_to_units.items():
+        if len(members) < 2 or circuit.fanout(net_name) > LOCAL_NET_MAX_FANOUT:
+            continue
+        unique = sorted(set(members))
+        for a in unique:
+            for b in unique:
+                if a != b:
+                    adjacency[a].append(b)
+    order: list[int] = []
+    visited: set[int] = set()
+    for start in range(len(units)):
+        if start in visited:
+            continue
+        queue = [start]
+        visited.add(start)
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            for neighbour in sorted(set(adjacency[current])):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    queue.append(neighbour)
+    return order
+
+
+def place_circuit(
+    circuit: Circuit,
+    chains: list[DiffusionChain],
+    tech: Technology,
+    rng: np.random.Generator,
+) -> Placement:
+    """Place all devices into rows; returns coordinates for every instance.
+
+    Placement units (diffusion chains and passive singletons) are ordered
+    by local-net connectivity (BFS) so that connected devices land close
+    together, then packed left-to-right into rows.  Chains stay contiguous.
+    A +-10% jitter on effective widths models layout slack.
+    """
+    placement = Placement()
+    cursor_x = 0.0
+    row = 0
+    row_height = 2 * tech.cell_height
+
+    def advance(width: float, height: float) -> tuple[float, float, int]:
+        nonlocal cursor_x, row
+        if cursor_x + width > tech.row_width and cursor_x > 0:
+            cursor_x = 0.0
+            row += 1
+        x = cursor_x
+        cursor_x += width * (1.0 + 0.1 * rng.random())
+        return x, row * row_height, row
+
+    units: list[list[Instance]] = [
+        [link.inst for link in chain.links] for chain in chains
+    ]
+    passives = sorted(
+        (inst for inst in circuit.instances() if not dev.is_mos(inst.device_type)),
+        key=lambda inst: inst.name,
+    )
+    units.extend([inst] for inst in passives)
+
+    for index in _connectivity_order(circuit, units):
+        for inst in units[index]:
+            if dev.is_mos(inst.device_type):
+                width, height = device_footprint(inst, tech)
+            else:
+                width, height = _passive_footprint(inst, tech)
+            x, y, r = advance(width, height)
+            placement.devices[inst.name] = PlacedDevice(
+                inst.name, x, y, width, height, r
+            )
+
+    placement.num_rows = row + 1
+    placement.die_width = tech.row_width
+    placement.die_height = placement.num_rows * row_height
+    return placement

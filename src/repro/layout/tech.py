@@ -1,0 +1,103 @@
+"""Synthetic sub-10nm process constants used by the layout synthesizer.
+
+One place for every geometric constant so tests and documentation can refer
+to them.  Values are loosely modelled on published 7nm-class numbers; the
+absolute scale is irrelevant to the learning problem (only the structural
+dependence of targets on the schematic matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process geometry and parasitic coefficients.
+
+    Attributes
+    ----------
+    fin_pitch:
+        Fin-to-fin spacing; device width = NFIN * fin_pitch.
+    poly_pitch:
+        Contacted poly pitch (CPP); one finger occupies one CPP.
+    diff_end:
+        Length of an *unshared* (outer) source/drain diffusion region.
+    diff_inner:
+        Length of a diffusion region between two gates (shared or internal).
+    cell_height:
+        Placement row height.
+    row_width:
+        Target placement row width before wrapping to a new row.
+    cap_per_length:
+        Wire capacitance per metre (area + fringe lumped).
+    gate_cap_per_fin:
+        Gate pin capacitance per fin per finger.
+    sd_cap_per_fin:
+        Source/drain pin capacitance per fin per finger.
+    pin_cap_passive:
+        Pin capacitance of passive-device terminals (R/C/diode/BJT).
+    thick_cap_scale:
+        Multiplier on thick-gate pin capacitances (bigger devices).
+    """
+
+    fin_pitch: float = 30e-9
+    poly_pitch: float = 54e-9
+    diff_end: float = 90e-9
+    diff_inner: float = 54e-9
+    cell_height: float = 240e-9
+    row_width: float = 6e-6
+    cap_per_length: float = 0.20e-15 / 1e-6  # 0.2 fF/um
+    gate_cap_per_fin: float = 0.012e-15
+    sd_cap_per_fin: float = 0.008e-15
+    pin_cap_passive: float = 0.12e-15
+    cap_value_fraction: float = 0.08  # parasitic fraction of explicit C value
+    thick_cap_scale: float = 2.2
+
+    # Wire resistance (paper future work: net parasitic resistances).
+    res_per_length: float = 40.0 / 1e-6  # 40 ohm/um thin-metal trace
+    via_resistance: float = 4.0  # per connected pin
+
+    # Layout-uncertainty noise levels (lognormal sigma), per target family.
+    noise_cap: float = 0.10
+    noise_geometry: float = 0.05
+    noise_lod: float = 0.50
+    noise_well: float = 0.60
+
+
+#: Default technology instance used across the library.
+DEFAULT_TECH = Technology()
+
+
+def corner(name: str, base: Technology = DEFAULT_TECH) -> Technology:
+    """Return a process-corner variant of *base*.
+
+    Corners scale the parasitic coefficients the way RC extraction corners
+    do: ``cmax`` (+15% caps, +20% resistance), ``cmin`` (-15% / -20%),
+    ``typ`` (unchanged).  Used for robustness experiments: a model trained
+    on typical ground truth evaluated against corner ground truth.
+
+    Raises
+    ------
+    ValueError
+        For unknown corner names.
+    """
+    import dataclasses
+
+    scales = {
+        "typ": (1.0, 1.0),
+        "cmax": (1.15, 1.20),
+        "cmin": (0.85, 0.80),
+    }
+    if name not in scales:
+        raise ValueError(f"unknown corner {name!r}; choose from {sorted(scales)}")
+    cap_scale, res_scale = scales[name]
+    return dataclasses.replace(
+        base,
+        cap_per_length=base.cap_per_length * cap_scale,
+        gate_cap_per_fin=base.gate_cap_per_fin * cap_scale,
+        sd_cap_per_fin=base.sd_cap_per_fin * cap_scale,
+        pin_cap_passive=base.pin_cap_passive * cap_scale,
+        res_per_length=base.res_per_length * res_scale,
+        via_resistance=base.via_resistance * res_scale,
+    )

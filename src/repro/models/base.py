@@ -1,0 +1,82 @@
+"""GNNRegressor: encoder + L convolution layers + FC readout.
+
+This is the shared skeleton of every graph model in the paper's comparison:
+the models differ only in their convolution layer (paper §V applied the
+node-type input transform to the naive baselines too, so they can consume
+heterogeneous features).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import all_edge_type_names
+from repro.models.convs import make_conv
+from repro.models.encoder import NodeTypeEncoder
+from repro.models.inputs import GraphInputs
+from repro.nn import MLP, Module, Tensor, gather_rows
+
+
+class GNNRegressor(Module):
+    """A GNN regression model for one prediction target.
+
+    Parameters
+    ----------
+    conv:
+        One of ``gcn``, ``sage``, ``rgcn``, ``gat``, ``paragraph``.
+    feature_dims:
+        Raw feature dimension per node type (covering every type the model
+        may encounter).
+    embed_dim:
+        Embedding width F (paper: 32).
+    num_layers:
+        Convolution depth L (paper: 5).
+    num_fc_layers:
+        Readout depth (paper: 4 for CAP, 2 for device parameters); all
+        hidden FC layers have width F, the last has 1 output.
+    edge_types:
+        Edge types to allocate relational weights for; defaults to every
+        type the graph builder can emit.
+    conv_kwargs:
+        Extra arguments for the convolution (ParaGraph ablation flags).
+    """
+
+    def __init__(
+        self,
+        conv: str,
+        feature_dims: dict[str, int],
+        rng: np.random.Generator,
+        embed_dim: int = 32,
+        num_layers: int = 5,
+        num_fc_layers: int = 4,
+        edge_types: list[str] | None = None,
+        conv_kwargs: dict | None = None,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if num_fc_layers < 1:
+            raise ValueError("num_fc_layers must be >= 1")
+        self.conv_name = conv
+        self.embed_dim = embed_dim
+        edge_types = list(edge_types) if edge_types is not None else all_edge_type_names()
+        self.encoder = NodeTypeEncoder(feature_dims, embed_dim, rng)
+        self.convs = [
+            make_conv(conv, embed_dim, edge_types, rng, **(conv_kwargs or {}))
+            for _ in range(num_layers)
+        ]
+        self.readout = MLP(
+            [embed_dim] * num_fc_layers + [1], rng, activation="relu"
+        )
+
+    def embed(self, inputs: GraphInputs) -> Tensor:
+        """Node embeddings Z after all convolution layers (Algorithm 1)."""
+        h = self.encoder(inputs)
+        for conv in self.convs:
+            h = conv(h, inputs)
+        return h
+
+    def forward(self, inputs: GraphInputs, node_ids: np.ndarray) -> Tensor:
+        """Predicted (scaled) target values for the given nodes, shape (n, 1)."""
+        z = self.embed(inputs)
+        return self.readout(gather_rows(z, node_ids))

@@ -1,0 +1,144 @@
+"""Baseline predictors on node features alone (paper's XGBoost / Linear rows).
+
+The classical baselines see exactly the Table II features of the node being
+predicted — no graph structure — matching the paper's "XGBoost and Linear
+Regression based on node features alone".  Device-parameter baselines get a
+thin/thick one-hot since their population spans two node types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import devices as dev
+from repro.data.dataset import CircuitRecord, DatasetBundle
+from repro.data.normalize import (
+    FeatureScaler,
+    TargetScaler,
+    log_scaler_from_values,
+    scaler_from_std,
+)
+from repro.data.targets import TargetSpec, target_by_name
+from repro.errors import ModelError
+from repro.analysis.metrics import summarize
+from repro.graph.hetero import HeteroGraph
+from repro.models.gbdt import GradientBoostedTrees
+from repro.models.linreg import RidgeRegression
+
+
+def baseline_features(
+    graph: HeteroGraph, scaler: FeatureScaler, spec: TargetSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    """(node_ids, feature matrix) for a target population on one graph."""
+    scaled = scaler.transform(graph)
+    ids = spec.node_ids(graph)
+    if spec.kind == "net":
+        return ids, scaled[dev.NET]
+    rows = []
+    for node_id in ids:
+        type_name = graph.node_type_of[node_id]
+        members = graph.nodes_of_type[type_name]
+        row_index = int(np.searchsorted(members, node_id))
+        onehot = [1.0, 0.0] if type_name == dev.TRANSISTOR else [0.0, 1.0]
+        rows.append(np.concatenate([scaled[type_name][row_index], onehot]))
+    return ids, np.asarray(rows, dtype=np.float64)
+
+
+class BaselinePredictor:
+    """XGBoost-style or linear baseline with the GNN predictor's interface.
+
+    Parameters
+    ----------
+    kind:
+        ``"xgb"`` (gradient-boosted trees) or ``"linear"`` (ridge).
+    target:
+        Target name or spec.
+    max_v:
+        Optional §IV training clamp (same semantics as the GNN trainer).
+    """
+
+    def __init__(
+        self,
+        kind: str = "xgb",
+        target: str | TargetSpec = "CAP",
+        max_v: float | None = None,
+        seed: int = 0,
+        log_device_targets: bool = True,
+        **model_kwargs,
+    ):
+        if kind not in ("xgb", "linear"):
+            raise ModelError(f"unknown baseline kind {kind!r}")
+        self.kind = kind
+        self.spec = target if isinstance(target, TargetSpec) else target_by_name(target)
+        self.max_v = max_v
+        self.seed = seed
+        # same treatment as the GNN trainer so comparisons stay fair
+        self.log_device_targets = log_device_targets
+        self.model_kwargs = model_kwargs
+        self.model = None
+        self.target_scaler: TargetScaler | None = None
+        self._scaler: FeatureScaler | None = None
+
+    def fit(self, bundle: DatasetBundle) -> "BaselinePredictor":
+        records = bundle.records("train")
+        xs, ys = [], []
+        for record in records:
+            _, X = baseline_features(record.graph, bundle.scaler, self.spec)
+            _, y = record.target_arrays(self.spec)
+            xs.append(X)
+            ys.append(y)
+        X = np.concatenate(xs, axis=0)
+        y = np.concatenate(ys)
+        if self.max_v is not None:
+            keep = y <= self.max_v
+            if not keep.any():
+                raise ModelError(f"max_v={self.max_v} removed every sample")
+            X, y = X[keep], y[keep]
+        if self.spec.name == "CAP":
+            scale = self.max_v if self.max_v is not None else float(y.max())
+            self.target_scaler = TargetScaler(scale)
+        elif self.spec.kind == "net":
+            self.target_scaler = log_scaler_from_values(y)  # RES extension
+        elif self.log_device_targets:
+            self.target_scaler = log_scaler_from_values(y)
+        else:
+            self.target_scaler = scaler_from_std(y)
+        if self.kind == "xgb":
+            self.model = GradientBoostedTrees(seed=self.seed, **self.model_kwargs)
+        else:
+            self.model = RidgeRegression(**self.model_kwargs)
+        self.model.fit(X, self.target_scaler.transform(y))
+        self._scaler = bundle.scaler
+        return self
+
+    def predict(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]:
+        """(node_ids, SI-unit predictions), clamped at zero."""
+        if self.model is None:
+            raise ModelError("baseline is not fitted; call fit() first")
+        ids, X = baseline_features(record.graph, self._scaler, self.spec)
+        scaled = self.model.predict(X)
+        return ids, np.maximum(self.target_scaler.inverse(scaled), 0.0)
+
+    def predict_named(self, record: CircuitRecord) -> dict[str, float]:
+        ids, preds = self.predict(record)
+        return {
+            record.graph.node_name_of[node_id]: float(value)
+            for node_id, value in zip(ids, preds)
+        }
+
+    def evaluate(
+        self, records: list[CircuitRecord], mape_eps: float = 0.0
+    ) -> dict[str, float]:
+        truths, preds = self.collect(records)
+        return summarize(truths, preds, mape_eps=mape_eps)
+
+    def collect(
+        self, records: list[CircuitRecord]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        truths, preds = [], []
+        for record in records:
+            _, truth = record.target_arrays(self.spec)
+            _, pred = self.predict(record)
+            truths.append(truth)
+            preds.append(pred)
+        return np.concatenate(truths), np.concatenate(preds)

@@ -1,0 +1,44 @@
+"""Node-type input encoder (Algorithm 1, lines 1-2).
+
+Each node type has its own feature dimension (paper Table II), so the first
+step of every model — including the naive baselines, as noted in §V — maps
+each type into the common embedding space with a per-type weight matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.inputs import GraphInputs
+from repro.nn import Linear, Module, Tensor, scatter_rows
+
+
+class NodeTypeEncoder(Module):
+    """Per-node-type linear maps into a common embedding space."""
+
+    def __init__(
+        self,
+        feature_dims: dict[str, int],
+        embed_dim: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.transforms = {
+            type_name: Linear(dim, embed_dim, rng)
+            for type_name, dim in sorted(feature_dims.items())
+        }
+
+    def forward(self, inputs: GraphInputs) -> Tensor:
+        """Return the (num_nodes, embed_dim) initial embedding matrix."""
+        pieces, indices = [], []
+        for type_name in sorted(inputs.features):
+            transform = self.transforms.get(type_name)
+            if transform is None:
+                raise ModelError(
+                    f"encoder has no transform for node type {type_name!r}"
+                )
+            pieces.append(transform(Tensor(inputs.features[type_name])))
+            indices.append(inputs.nodes_of_type[type_name])
+        return scatter_rows(pieces, indices, inputs.num_nodes)

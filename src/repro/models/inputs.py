@@ -1,0 +1,73 @@
+"""Model-ready graph inputs.
+
+:class:`GraphInputs` packages a heterogeneous graph's scaled features and
+edge arrays in the exact form the GNN layers consume: per-type feature
+matrices for the input transform, per-edge-type COO arrays for relational
+layers, and a merged (homogenised) edge list for the baseline GNNs that
+ignore edge types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import CircuitRecord
+from repro.data.normalize import FeatureScaler
+from repro.graph.hetero import HeteroGraph
+
+
+@dataclass
+class GraphInputs:
+    """Preprocessed tensors for one graph (or a merged split)."""
+
+    num_nodes: int
+    features: dict[str, np.ndarray]
+    nodes_of_type: dict[str, np.ndarray]
+    edges: dict[str, tuple[np.ndarray, np.ndarray]]
+    merged_src: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    merged_dst: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_graph(cls, graph: HeteroGraph, scaler: FeatureScaler) -> "GraphInputs":
+        """Build inputs from a graph using a fitted feature scaler."""
+        scaled = scaler.transform(graph)
+        if graph.edges:
+            merged_src = np.concatenate(
+                [graph.edges[et][0] for et in graph.edge_types]
+            )
+            merged_dst = np.concatenate(
+                [graph.edges[et][1] for et in graph.edge_types]
+            )
+        else:
+            merged_src = np.empty(0, dtype=np.int64)
+            merged_dst = np.empty(0, dtype=np.int64)
+        return cls(
+            num_nodes=graph.num_nodes,
+            features=scaled,
+            nodes_of_type=dict(graph.nodes_of_type),
+            edges=dict(graph.edges),
+            merged_src=merged_src,
+            merged_dst=merged_dst,
+        )
+
+    @classmethod
+    def from_record(cls, record: CircuitRecord, scaler: FeatureScaler) -> "GraphInputs":
+        """Convenience: build inputs straight from a dataset record."""
+        return cls.from_graph(record.graph, scaler)
+
+    def with_self_loops(self) -> tuple[np.ndarray, np.ndarray]:
+        """Merged edges plus one self-loop per node (GCN/GAT convention)."""
+        loops = np.arange(self.num_nodes, dtype=np.int64)
+        return (
+            np.concatenate([self.merged_src, loops]),
+            np.concatenate([self.merged_dst, loops]),
+        )
+
+    def in_degrees(self, include_self_loops: bool = False) -> np.ndarray:
+        """In-degree per node over the merged edge list."""
+        deg = np.bincount(self.merged_dst, minlength=self.num_nodes).astype(np.float64)
+        if include_self_loops:
+            deg += 1.0
+        return deg

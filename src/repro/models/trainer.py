@@ -1,0 +1,362 @@
+"""Training driver: one model per target, trained on the merged train split.
+
+Reproduces the paper's §V setup: ADAM at lr 0.01, MSE loss, 300 epochs,
+embedding width F=32, depth L=5, readout of 4 FC layers for the CAP model
+and 2 for device parameters.  CAP models support the ``max_v`` clamp of §IV
+(training samples above ``max_v`` are dropped), which is the building block
+of ensemble modeling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import CircuitRecord, DatasetBundle
+from repro.data.normalize import (
+    FeatureScaler,
+    LogTargetScaler,
+    TargetScaler,
+    log_scaler_from_values,
+    scaler_from_std,
+)
+from repro.data.targets import TargetSpec, target_by_name
+from repro.errors import ModelError
+from repro.graph.features import feature_dim
+from repro.graph.hetero import merge_graphs
+from repro.analysis.metrics import summarize
+from repro.circuits.devices import NODE_TYPES
+from repro.models.base import GNNRegressor
+from repro.models.inputs import GraphInputs
+from repro.nn import Adam, Tensor, mse_loss, no_grad
+from repro.rng import stream
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters (defaults = paper §V)."""
+
+    embed_dim: int = 32
+    num_layers: int = 5
+    num_fc_layers: int | None = None  # None -> 4 for CAP, 2 for device targets
+    epochs: int = 300
+    lr: float = 0.01
+    run_seed: int = 0
+    max_v: float | None = None  # §IV training clamp (CAP only), in farads
+    conv_kwargs: dict = field(default_factory=dict)
+    log_every: int = 0
+    #: The paper trains without L2 ("training sets sufficiently large"); at
+    #: this reproduction's much smaller dataset scale a little decay keeps
+    #: the high-capacity relational models from memorising layout noise.
+    weight_decay: float = 1e-4
+    #: Device-parameter values span orders of magnitude (areas scale with
+    #: NF x NFIN x MULTI); training them in log space keeps small devices
+    #: accurate.  CAP always trains linearly — the §IV ensemble behaviour
+    #: (Fig. 5) depends on it.
+    log_device_targets: bool = True
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training losses."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def _merged_inputs(
+    records: list[CircuitRecord], bundle: DatasetBundle, spec: TargetSpec
+) -> tuple[GraphInputs, np.ndarray, np.ndarray]:
+    """Merged GraphInputs + target ids/values with node-id offsets applied."""
+    merged = merge_graphs([record.graph for record in records])
+    inputs = GraphInputs.from_graph(merged, bundle.scaler)
+    ids, values = [], []
+    offset = 0
+    for record in records:
+        node_ids, vals = record.target_arrays(spec)
+        ids.append(node_ids + offset)
+        values.append(vals)
+        offset += record.graph.num_nodes
+    return inputs, np.concatenate(ids), np.concatenate(values)
+
+
+class TargetPredictor:
+    """One trained model for one prediction target.
+
+    Parameters
+    ----------
+    conv:
+        GNN flavour (``paragraph``, ``sage``, ``rgcn``, ``gat``, ``gcn``).
+    target:
+        Target name (``CAP``, ``LDE3``, ``SA``...) or a :class:`TargetSpec`.
+    config:
+        Training hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        conv: str = "paragraph",
+        target: str | TargetSpec = "CAP",
+        config: TrainConfig | None = None,
+    ):
+        self.conv = conv
+        self.spec = target if isinstance(target, TargetSpec) else target_by_name(target)
+        self.config = config or TrainConfig()
+        self.model: GNNRegressor | None = None
+        self.target_scaler: TargetScaler | None = None
+        self.history = TrainHistory()
+        self._scaler = None  # feature scaler, captured from the bundle at fit
+
+    # ------------------------------------------------------------------
+    def fit(self, bundle: DatasetBundle) -> "TargetPredictor":
+        """Train on the bundle's train split; returns self."""
+        cfg = self.config
+        records = bundle.records("train")
+        inputs, ids, values = _merged_inputs(records, bundle, self.spec)
+        if len(ids) == 0:
+            raise ModelError(f"no training samples for target {self.spec.name}")
+
+        if cfg.max_v is not None:
+            keep = values <= cfg.max_v
+            if not keep.any():
+                raise ModelError(
+                    f"max_v={cfg.max_v} removed every training sample"
+                )
+            ids, values = ids[keep], values[keep]
+
+        if self.spec.name == "CAP":
+            # CAP must train linearly: the SIV ensemble phenomenon (Fig. 5)
+            # depends on small values drowning in a full-range model's error.
+            scale = cfg.max_v if cfg.max_v is not None else float(values.max())
+            self.target_scaler = TargetScaler(scale)
+            fc_layers = cfg.num_fc_layers or 4
+        elif self.spec.kind == "net":
+            # other net targets (RES extension) span decades with no
+            # ensemble semantics: log space keeps small nets accurate
+            self.target_scaler = log_scaler_from_values(values)
+            fc_layers = cfg.num_fc_layers or 4
+        elif cfg.log_device_targets:
+            self.target_scaler = log_scaler_from_values(values)
+            fc_layers = cfg.num_fc_layers or 2
+        else:
+            self.target_scaler = scaler_from_std(values)
+            fc_layers = cfg.num_fc_layers or 2
+
+        rng = stream(cfg.run_seed, "model", self.conv, self.spec.name)
+        self.model = GNNRegressor(
+            conv=self.conv,
+            feature_dims={t: feature_dim(t) for t in NODE_TYPES},
+            rng=rng,
+            embed_dim=cfg.embed_dim,
+            num_layers=cfg.num_layers,
+            num_fc_layers=fc_layers,
+            conv_kwargs=cfg.conv_kwargs,
+        )
+        self._scaler = bundle.scaler
+
+        targets = Tensor(self.target_scaler.transform(values).reshape(-1, 1))
+        optimizer = Adam(
+            self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay
+        )
+        self.history = TrainHistory()
+        for epoch in range(cfg.epochs):
+            optimizer.zero_grad()
+            pred = self.model(inputs, ids)
+            loss = mse_loss(pred, targets)
+            loss.backward()
+            optimizer.step()
+            self.history.losses.append(loss.item())
+            if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
+                print(
+                    f"[{self.conv}/{self.spec.name}] epoch {epoch + 1}: "
+                    f"loss={loss.item():.5f}"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fit(self) -> GNNRegressor:
+        if self.model is None or self.target_scaler is None:
+            raise ModelError("predictor is not fitted; call fit() first")
+        return self.model
+
+    def predict_graph(self, graph) -> tuple[np.ndarray, np.ndarray]:
+        """(node_ids, SI-unit predictions) for a heterogeneous graph.
+
+        Predictions are clamped at zero — capacitances and geometries are
+        physical quantities.
+        """
+        model = self._require_fit()
+        inputs = GraphInputs.from_graph(graph, self._scaler)
+        ids = self.spec.node_ids(graph)
+        with no_grad():
+            scaled = model(inputs, ids).numpy().ravel()
+        return ids, np.maximum(self.target_scaler.inverse(scaled), 0.0)
+
+    def predict(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]:
+        """(node_ids, predictions in SI units) for one dataset record."""
+        return self.predict_graph(record.graph)
+
+    def predict_named(self, record: CircuitRecord) -> dict[str, float]:
+        """Predictions keyed by net/instance name."""
+        ids, preds = self.predict(record)
+        return {
+            record.graph.node_name_of[node_id]: float(value)
+            for node_id, value in zip(ids, preds)
+        }
+
+    def predict_circuit(self, circuit) -> dict[str, float]:
+        """Predict straight from a schematic (no layout required).
+
+        This is the deployment path: parse a netlist, predict, annotate.
+        """
+        from repro.graph.builder import build_graph
+
+        graph = build_graph(circuit)
+        ids, preds = self.predict_graph(graph)
+        return {
+            graph.node_name_of[node_id]: float(value)
+            for node_id, value in zip(ids, preds)
+        }
+
+    def attention_report(
+        self, record: CircuitRecord, layer: int = 0
+    ) -> list[tuple[str, str, str, float]]:
+        """First-layer attention weights as (edge_type, src, dst, alpha) rows.
+
+        Only available for the ParaGraph model with attention enabled;
+        sorted by descending weight for quick inspection.
+        """
+        model = self._require_fit()
+        conv = model.convs[layer]
+        if not hasattr(conv, "attention_weights"):
+            raise ModelError(f"conv {self.conv!r} does not expose attention")
+        inputs = GraphInputs.from_record(record, self._scaler)
+        with no_grad():
+            h = model.encoder(inputs)
+            for earlier in model.convs[:layer]:
+                h = earlier(h, inputs)
+            weights = conv.attention_weights(h, inputs)
+        rows: list[tuple[str, str, str, float]] = []
+        names = record.graph.node_name_of
+        for edge_type, alpha in weights.items():
+            src, dst = inputs.edges[edge_type]
+            for k in range(len(src)):
+                rows.append(
+                    (edge_type, names[src[k]], names[dst[k]], float(alpha[k]))
+                )
+        rows.sort(key=lambda row: -row[3])
+        return rows
+
+    def embed_record(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]:
+        """(target node_ids, embedding rows) — used for t-SNE (Fig. 8)."""
+        model = self._require_fit()
+        inputs = GraphInputs.from_record(record, self._scaler)
+        ids = self.spec.node_ids(record.graph)
+        with no_grad():
+            z = model.embed(inputs).numpy()
+        return ids, z[ids]
+
+    def evaluate(
+        self, records: list[CircuitRecord], mape_eps: float = 0.0
+    ) -> dict[str, float]:
+        """Pooled R²/MAE/MAPE over several circuits."""
+        truths, preds = [], []
+        for record in records:
+            _, truth = record.target_arrays(self.spec)
+            _, pred = self.predict(record)
+            truths.append(truth)
+            preds.append(pred)
+        return summarize(
+            np.concatenate(truths), np.concatenate(preds), mape_eps=mape_eps
+        )
+
+    def collect(
+        self, records: list[CircuitRecord]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(ground truth, prediction) arrays pooled over records."""
+        truths, preds = [], []
+        for record in records:
+            _, truth = record.target_arrays(self.spec)
+            _, pred = self.predict(record)
+            truths.append(truth)
+            preds.append(pred)
+        return np.concatenate(truths), np.concatenate(preds)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the trained model (weights + both scalers + config) to .npz."""
+        model = self._require_fit()
+        payload: dict[str, np.ndarray] = {
+            f"param/{name}": value for name, value in model.state_dict().items()
+        }
+        fc_layers = len(model.readout.layers)
+        meta = {
+            "conv": self.conv,
+            "target": self.spec.name,
+            "target_scale": self.target_scaler.scale,
+            "scaler_kind": (
+                "log" if isinstance(self.target_scaler, LogTargetScaler) else "linear"
+            ),
+            "embed_dim": self.config.embed_dim,
+            "num_layers": self.config.num_layers,
+            "num_fc_layers": fc_layers,
+            "conv_kwargs": self.config.conv_kwargs,
+        }
+        payload["meta"] = np.array(json.dumps(meta))
+        for type_name, mean in self._scaler.means.items():
+            payload[f"fmean/{type_name}"] = mean
+            payload[f"fstd/{type_name}"] = self._scaler.stds[type_name]
+        np.savez(path, **payload)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TargetPredictor":
+        """Load a predictor saved by :meth:`save`; ready for prediction."""
+        with np.load(path) as archive:
+            meta = json.loads(str(archive["meta"]))
+            predictor = cls(
+                conv=meta["conv"],
+                target=meta["target"],
+                config=TrainConfig(
+                    embed_dim=meta["embed_dim"],
+                    num_layers=meta["num_layers"],
+                    num_fc_layers=meta["num_fc_layers"],
+                    conv_kwargs=meta.get("conv_kwargs", {}),
+                ),
+            )
+            rng = stream(0, "model", predictor.conv, predictor.spec.name)
+            predictor.model = GNNRegressor(
+                conv=predictor.conv,
+                feature_dims={t: feature_dim(t) for t in NODE_TYPES},
+                rng=rng,
+                embed_dim=meta["embed_dim"],
+                num_layers=meta["num_layers"],
+                num_fc_layers=meta["num_fc_layers"],
+                conv_kwargs=meta.get("conv_kwargs", {}),
+            )
+            predictor.model.load_state_dict(
+                {
+                    name[len("param/"):]: archive[name]
+                    for name in archive.files
+                    if name.startswith("param/")
+                }
+            )
+            if meta.get("scaler_kind") == "log":
+                predictor.target_scaler = LogTargetScaler(float(meta["target_scale"]))
+            else:
+                predictor.target_scaler = TargetScaler(float(meta["target_scale"]))
+            scaler = FeatureScaler()
+            for name in archive.files:
+                if name.startswith("fmean/"):
+                    type_name = name[len("fmean/"):]
+                    scaler.means[type_name] = archive[name]
+                    scaler.stds[type_name] = archive[f"fstd/{type_name}"]
+            predictor._scaler = scaler
+        return predictor

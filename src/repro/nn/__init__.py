@@ -1,0 +1,75 @@
+"""Minimal autodiff neural-network engine used by all ParaGraph models.
+
+Public surface::
+
+    from repro import nn
+    x = nn.Tensor([[1.0, 2.0]], requires_grad=True)
+    layer = nn.Linear(2, 4, rng)
+    loss = nn.mse_loss(layer(x), target)
+    loss.backward()
+"""
+
+from repro.nn.layers import MLP, Linear, get_activation
+from repro.nn.loss import huber_loss, mae_loss, mse_loss
+from repro.nn.module import Module, Parameter
+from repro.nn.ops import (
+    concat,
+    dropout,
+    gather_rows,
+    l2_normalize_rows,
+    leaky_relu,
+    relu,
+    scatter_rows,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    sigmoid,
+    tanh,
+)
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    CosineLR,
+    Optimizer,
+    RMSprop,
+    StepLR,
+    clip_grad_norm,
+)
+from repro.nn.serialize import load_module, save_module
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "MLP",
+    "Linear",
+    "get_activation",
+    "huber_loss",
+    "mae_loss",
+    "mse_loss",
+    "Module",
+    "Parameter",
+    "concat",
+    "dropout",
+    "gather_rows",
+    "l2_normalize_rows",
+    "leaky_relu",
+    "relu",
+    "scatter_rows",
+    "segment_mean",
+    "segment_softmax",
+    "segment_sum",
+    "sigmoid",
+    "tanh",
+    "SGD",
+    "Adam",
+    "CosineLR",
+    "Optimizer",
+    "RMSprop",
+    "StepLR",
+    "clip_grad_norm",
+    "load_module",
+    "save_module",
+    "Tensor",
+    "as_tensor",
+    "is_grad_enabled",
+    "no_grad",
+]

@@ -1,0 +1,45 @@
+"""Regression losses.
+
+The paper regresses every target with MSE; MAE and Huber are provided for
+ablations and diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def _check(pred: Tensor, target: Tensor) -> tuple[Tensor, Tensor]:
+    pred, target = as_tensor(pred), as_tensor(target)
+    if pred.shape != target.shape:
+        raise ShapeError(
+            f"prediction shape {pred.shape} does not match target {target.shape}"
+        )
+    return pred, target
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    pred, target = _check(pred, target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    pred, target = _check(pred, target)
+    return (pred - target).abs().mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss — quadratic near zero, linear in the tails."""
+    pred, target = _check(pred, target)
+    diff = (pred - target).abs()
+    quadratic = diff.clip_min(0.0)  # diff is already non-negative
+    small = Tensor((diff.data <= delta).astype(np.float64))
+    large = Tensor(1.0) - small
+    loss = small * (quadratic * quadratic * 0.5) + large * (diff * delta - 0.5 * delta**2)
+    return loss.mean()

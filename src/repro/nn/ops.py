@@ -1,0 +1,204 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor`.
+
+Beyond standard activations, this module provides the three structural
+operations every message-passing layer in the library is built from:
+
+* :func:`gather_rows` — ``h[src]`` for edge-wise source features,
+* :func:`segment_sum` — scatter-add of edge messages into destination nodes,
+* :func:`segment_softmax` — softmax over the incoming edges of each node
+  (the attention normaliser of GAT and ParaGraph).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(np.float64)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU with the GAT-default slope of 0.2."""
+    x = as_tensor(x)
+    scale = np.where(x.data > 0, 1.0, negative_slope)
+    out_data = x.data * scale
+
+    def backward(grad: np.ndarray):
+        return (grad * scale,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    x = as_tensor(x)
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad: np.ndarray):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    x = as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * (1.0 - out_data**2),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate tensors along *axis* (GraphSage-style skip connection)."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ShapeError("concat() requires at least one tensor")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0, *sizes])
+
+    def backward(grad: np.ndarray):
+        slicer = [slice(None)] * grad.ndim
+        pieces = []
+        for i in range(len(sizes)):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            pieces.append(grad[tuple(slicer)])
+        return tuple(pieces)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows of a 2-D (or 1-D) tensor: ``out[k] = x[index[k]]``."""
+    x = as_tensor(x)
+    index = np.asarray(index, dtype=np.int64)
+    out_data = x.data[index]
+    in_shape = x.data.shape
+
+    def backward(grad: np.ndarray):
+        gx = np.zeros(in_shape, dtype=np.float64)
+        np.add.at(gx, index, grad)
+        return (gx,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of *x* into ``num_segments`` buckets.
+
+    ``out[s] = sum_{k : segment_ids[k] == s} x[k]``.  Rows of *x* are edge
+    messages; *segment_ids* are destination-node ids.
+    """
+    x = as_tensor(x)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if len(segment_ids) != x.data.shape[0]:
+        raise ShapeError(
+            f"segment_ids length {len(segment_ids)} does not match "
+            f"leading dimension {x.data.shape[0]}"
+        )
+    out_shape = (num_segments, *x.data.shape[1:])
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad[segment_ids],)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows per segment; empty segments yield zero rows."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(x, segment_ids, num_segments)
+    shape = (num_segments, *([1] * (summed.ndim - 1)))
+    return summed * Tensor(1.0 / counts.reshape(shape))
+
+
+def _segment_max_data(data: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    out = np.full((num_segments, *data.shape[1:]), -np.inf, dtype=np.float64)
+    np.maximum.at(out, segment_ids, data)
+    out[~np.isfinite(out)] = 0.0  # empty segments
+    return out
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of *scores* within each segment.
+
+    Used for attention: scores are per-edge logits and segments group the
+    incoming edges of each destination node.  Numerically stabilised by
+    subtracting the (detached) per-segment maximum, which does not change
+    either the value or the gradient of softmax.
+    """
+    scores = as_tensor(scores)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    max_per_segment = _segment_max_data(scores.data, segment_ids, num_segments)
+    shifted = scores - Tensor(max_per_segment[segment_ids])
+    exp_scores = shifted.exp()
+    denom = segment_sum(exp_scores, segment_ids, num_segments)
+    denom = denom.clip_min(1e-300)
+    return exp_scores / gather_rows(denom, segment_ids)
+
+
+def scatter_rows(
+    pieces: Sequence[Tensor],
+    indices: Sequence[np.ndarray],
+    num_rows: int,
+) -> Tensor:
+    """Assemble a ``(num_rows, F)`` matrix from row blocks at given indices.
+
+    ``out[indices[k][i]] = pieces[k][i]``.  Used to place per-node-type
+    embeddings into the global node matrix (Algorithm 1, lines 1-2).  Index
+    sets must be disjoint; overlapping rows are summed (and gradients flow
+    to every contributor), which is never triggered by the graph builder.
+    """
+    pieces = [as_tensor(p) for p in pieces]
+    if not pieces:
+        raise ShapeError("scatter_rows() requires at least one piece")
+    width = pieces[0].data.shape[1]
+    out_data = np.zeros((num_rows, width), dtype=np.float64)
+    index_arrays = [np.asarray(ix, dtype=np.int64) for ix in indices]
+    for piece, index in zip(pieces, index_arrays):
+        if piece.data.shape[0] != len(index):
+            raise ShapeError("scatter_rows piece/index length mismatch")
+        np.add.at(out_data, index, piece.data)
+
+    def backward(grad: np.ndarray):
+        return tuple(grad[index] for index in index_arrays)
+
+    return Tensor._make(out_data, tuple(pieces), backward)
+
+
+def l2_normalize_rows(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Normalise each row to unit L2 norm (GraphSage's final projection)."""
+    x = as_tensor(x)
+    norms = (x * x).sum(axis=1, keepdims=True).clip_min(eps).sqrt()
+    return x / norms
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout.  The paper trains without dropout; provided for ablations."""
+    if not training or rate <= 0.0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

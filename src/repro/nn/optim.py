@@ -1,0 +1,201 @@
+"""Optimisers: SGD (with momentum) and Adam.
+
+The paper trains every model with ADAM at learning rate 0.01.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list."""
+
+    def __init__(self, params: Sequence[Parameter]):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class RMSprop(Optimizer):
+    """RMSprop with optional momentum."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        self.lr = lr
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, sq, velocity in zip(self.params, self._sq, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * grad**2
+            update = grad / (np.sqrt(sq) + self.eps)
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += update
+                update = velocity
+            param.data = param.data - self.lr * update
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most *max_norm*.
+
+    Returns the pre-clipping norm.  Parameters without gradients are
+    skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float((param.grad**2).sum())
+    norm = total**0.5
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm
+
+
+class StepLR:
+    """Multiplies an optimizer's learning rate by *gamma* every *step_size* epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch; decay when the boundary is crossed."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine annealing from the initial lr to *eta_min* over *t_max* epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.t_max)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * self._epoch / self.t_max))
+        self.optimizer.lr = self.eta_min + (self._base_lr - self.eta_min) * cosine
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,21 @@
+"""Save/load model parameters to ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's parameters to an ``.npz`` archive."""
+    np.savez(path, **module.state_dict())
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_module` into *module* in place."""
+    with np.load(path) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})
+    return module

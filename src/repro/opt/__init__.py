@@ -1,0 +1,17 @@
+"""Parasitic-aware circuit sizing (paper §I motivation, ref. [1])."""
+
+from repro.opt.sizing import (
+    OptimizationResult,
+    SizingProblem,
+    SizingVariable,
+    coordinate_descent,
+    evaluate_sizing,
+)
+
+__all__ = [
+    "OptimizationResult",
+    "SizingProblem",
+    "SizingVariable",
+    "coordinate_descent",
+    "evaluate_sizing",
+]

@@ -1,0 +1,45 @@
+"""Linearized MNA circuit simulator and the Table V metric suite."""
+
+from repro.sim.ac import AcSweep, ac_analysis
+from repro.sim.dcop import cap_sensitivity, dc_operating_point
+from repro.sim.annotate import (
+    annotated_netlist,
+    designer_annotations,
+    predicted_annotations,
+    reference_annotations,
+    schematic_annotations,
+)
+from repro.sim.metrics import (
+    ALL_METRIC_NAMES,
+    MetricComparison,
+    Testbench,
+    compute_metrics,
+    relative_metric_errors,
+)
+from repro.sim.mna import Annotations, MnaSystem, build_mna
+from repro.sim.suite import build_testbenches, total_metric_count
+from repro.sim.transient import TransientResult, transient_step
+
+__all__ = [
+    "AcSweep",
+    "ac_analysis",
+    "annotated_netlist",
+    "cap_sensitivity",
+    "dc_operating_point",
+    "designer_annotations",
+    "predicted_annotations",
+    "reference_annotations",
+    "schematic_annotations",
+    "ALL_METRIC_NAMES",
+    "MetricComparison",
+    "Testbench",
+    "compute_metrics",
+    "relative_metric_errors",
+    "Annotations",
+    "MnaSystem",
+    "build_mna",
+    "build_testbenches",
+    "total_metric_count",
+    "TransientResult",
+    "transient_step",
+]

@@ -1,0 +1,89 @@
+"""AC small-signal analysis: transfer functions over a frequency sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.mna import MnaSystem
+
+
+@dataclass
+class AcSweep:
+    """Frequency response of one output net."""
+
+    frequencies: np.ndarray  # Hz
+    response: np.ndarray  # complex transfer function
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.response)
+
+    def dc_gain(self) -> float:
+        """|H| at the lowest swept frequency."""
+        return float(self.magnitude[0])
+
+    def bandwidth_3db(self) -> float:
+        """First frequency where |H| drops 3 dB below the DC value.
+
+        Returns the highest swept frequency if no crossing occurs.
+        """
+        mag = self.magnitude
+        threshold = mag[0] / np.sqrt(2.0)
+        below = np.nonzero(mag < threshold)[0]
+        if len(below) == 0:
+            return float(self.frequencies[-1])
+        k = below[0]
+        if k == 0:
+            return float(self.frequencies[0])
+        # log-linear interpolation between the two bracketing points
+        f0, f1 = self.frequencies[k - 1], self.frequencies[k]
+        m0, m1 = mag[k - 1], mag[k]
+        t = (m0 - threshold) / max(m0 - m1, 1e-30)
+        return float(f0 * (f1 / f0) ** t)
+
+    def unity_gain_frequency(self) -> float:
+        """First frequency where |H| falls below 1 (or the last swept)."""
+        below = np.nonzero(self.magnitude < 1.0)[0]
+        if len(below) == 0 or below[0] == 0:
+            return float(self.frequencies[-1 if len(below) == 0 else 0])
+        k = below[0]
+        f0, f1 = self.frequencies[k - 1], self.frequencies[k]
+        m0, m1 = self.magnitude[k - 1], self.magnitude[k]
+        t = (m0 - 1.0) / max(m0 - m1, 1e-30)
+        return float(f0 * (f1 / f0) ** t)
+
+
+def ac_analysis(
+    system: MnaSystem,
+    output_net: str,
+    f_start: float = 1e3,
+    f_stop: float = 100e9,
+    points_per_decade: int = 10,
+) -> AcSweep:
+    """Sweep ``(G + j w C) x = b`` and return the response at *output_net*.
+
+    Raises
+    ------
+    SimulationError
+        If the system matrix is singular at any frequency.
+    """
+    out = system.node(output_net)
+    decades = np.log10(f_stop / f_start)
+    n_points = max(2, int(round(decades * points_per_decade)) + 1)
+    freqs = np.logspace(np.log10(f_start), np.log10(f_stop), n_points)
+    response = np.empty(n_points, dtype=np.complex128)
+    rhs = system.b.astype(np.complex128)
+    for i, f in enumerate(freqs):
+        omega = 2 * np.pi * f
+        matrix = system.G + 1j * omega * system.C
+        # MNA matrices are badly scaled by construction (fF vs S vs the
+        # source row); LU still solves them fine, so use the quiet solver.
+        try:
+            x = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(f"singular MNA matrix at {f:.3g} Hz") from exc
+        response[i] = x[out]
+    return AcSweep(frequencies=freqs, response=response)

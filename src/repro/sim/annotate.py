@@ -1,0 +1,105 @@
+"""Parasitic back-annotation: fold predictions into a simulation.
+
+Annotation modes correspond to the columns of paper Table V.  Each mode
+produces an :class:`~repro.sim.mna.Annotations` object — per-net lumped
+capacitances plus per-device (SA, DA) areas — from a different source:
+
+* ``reference``    — the synthesized layout's ground truth (post-layout),
+* ``schematic``    — no net caps, layout-construction device areas
+  ("Layout w/o parasitics"),
+* ``designer``     — rule-of-thumb net caps, same device areas,
+* model modes      — predicted net caps and predicted SA/DA.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.errors import SimulationError
+from repro.layout.estimator import designer_device_estimate, designer_estimate
+from repro.layout.synthesizer import LayoutResult
+from repro.sim.mna import Annotations
+
+
+def reference_annotations(
+    layout: LayoutResult, include_resistance: bool = False
+) -> Annotations:
+    """Ground-truth (post-layout) annotation.
+
+    ``include_resistance`` adds the extracted trace resistances (RC pi
+    wires) — the resistance-extension experiments use it; the paper's
+    Table V flow is capacitance-only.
+    """
+    areas = {
+        name: (targets.sa, targets.da)
+        for name, targets in layout.device_params.items()
+    }
+    net_res = dict(layout.net_res) if include_resistance else {}
+    return Annotations(
+        net_caps=dict(layout.net_caps), device_areas=areas, net_res=net_res
+    )
+
+
+def schematic_annotations(circuit: Circuit) -> Annotations:
+    """Pre-layout netlist: no parasitics, unshared-diffusion device areas."""
+    estimates = designer_device_estimate(circuit)
+    areas = {name: (est["SA"], est["DA"]) for name, est in estimates.items()}
+    return Annotations(net_caps={}, device_areas=areas)
+
+
+def designer_annotations(circuit: Circuit) -> Annotations:
+    """Designer rule-of-thumb net caps + unshared device areas."""
+    annotation = schematic_annotations(circuit)
+    annotation.net_caps = designer_estimate(circuit)
+    return annotation
+
+
+def annotated_netlist(
+    circuit: Circuit,
+    net_caps: dict[str, float],
+    min_cap: float = 1e-18,
+    prefix: str = "cpar",
+) -> Circuit:
+    """Return a copy of *circuit* with predicted parasitics as C elements.
+
+    Each annotated net gains a capacitor instance ``<prefix>_<n>`` to
+    ``vss`` — the deployment artefact of the paper's flow: a pre-layout
+    netlist that simulates like the post-layout one.  Nets below *min_cap*
+    are skipped.
+    """
+    annotated = circuit.copy(f"{circuit.name}_annotated")
+    for index, (net_name, cap) in enumerate(sorted(net_caps.items())):
+        if cap < min_cap or not annotated.has_net(net_name):
+            continue
+        annotated.add_instance(
+            f"{prefix}_{index}",
+            dev.CAPACITOR,
+            {"p": net_name, "n": "vss"},
+            {"C": float(cap), "MULTI": 1.0},
+        )
+    return annotated
+
+
+def predicted_annotations(
+    net_caps: dict[str, float],
+    sa: dict[str, float] | None = None,
+    da: dict[str, float] | None = None,
+    circuit: Circuit | None = None,
+) -> Annotations:
+    """Model-predicted annotation.
+
+    When SA/DA predictions are supplied they must cover the same devices;
+    otherwise device areas fall back to the schematic estimate (requires
+    *circuit*).
+    """
+    if sa is not None and da is not None:
+        if set(sa) != set(da):
+            raise SimulationError("SA/DA predictions cover different devices")
+        areas = {name: (sa[name], da[name]) for name in sa}
+    elif circuit is not None:
+        areas = schematic_annotations(circuit).device_areas
+    else:
+        raise SimulationError(
+            "predicted_annotations needs SA/DA maps or a circuit for fallback"
+        )
+    return Annotations(net_caps=dict(net_caps), device_areas=areas)

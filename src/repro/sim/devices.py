@@ -1,0 +1,109 @@
+"""Small-signal device models for the linearized MNA simulator.
+
+Every device is reduced to conductances, capacitances and controlled
+sources around a nominal operating point (all MOSFETs assumed saturated at
+a fixed overdrive).  The models are deliberately simple — Table V only
+needs metric *differences* between parasitic-annotation choices on the same
+netlist — but they do depend on the predicted quantities: junction
+capacitance scales with drain/source diffusion area, so device-parameter
+predictions (SA/DA) influence simulation results alongside net CAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Instance
+
+#: Transconductance per fin at nominal overdrive, thin-gate, L = Lmin.
+GM_PER_FIN = 40e-6  # siemens
+#: Channel-length modulation: gds = LAMBDA * gm.
+LAMBDA = 0.08
+#: Thick-gate devices are slower per fin.
+THICK_GM_SCALE = 0.5
+#: Gate-source / gate-drain capacitance per fin per finger.  Kept small
+#: relative to routed-net parasitics so that circuit metrics are dominated
+#: by the annotated CAP values (the paper's premise).
+CGS_PER_FIN = 0.010e-15
+CGD_PER_FIN = 0.004e-15
+#: Junction capacitance per diffusion area, in F/m^2 (0.02 F/m^2 =
+#: 20 fF/um^2, an effective 3D-FinFET value).  A typical drain junction
+#: lands near 0.1 fF — noticeable but small against net parasitics, so
+#: Table V is dominated by CAP annotation quality as in the paper.
+CJ_PER_AREA = 0.02
+#: Diode small-signal conductance and junction capacitance per finger.
+DIODE_GD = 1e-6
+DIODE_CJ = 0.25e-15
+#: BJT transconductance and base resistance scale.
+BJT_GM = 2e-3
+BJT_BETA = 100.0
+#: Nominal gate length used as the reference for 1/L scaling.
+L_REF = 16e-9
+
+
+@dataclass(frozen=True)
+class MosSmallSignal:
+    """Linearized MOSFET: VCCS gm*(vgs) d->s, gds, and terminal caps."""
+
+    gm: float
+    gds: float
+    cgs: float
+    cgd: float
+    cdb: float  # drain junction cap (depends on DA)
+    csb: float  # source junction cap (depends on SA)
+
+
+def mos_small_signal(
+    inst: Instance,
+    drain_area: float | None = None,
+    source_area: float | None = None,
+) -> MosSmallSignal:
+    """Small-signal model from schematic params plus optional SA/DA values.
+
+    When *drain_area*/*source_area* are omitted, nominal unshared-diffusion
+    areas are assumed (what a pre-layout netlist would use).
+    """
+    nf = max(1, int(inst.param("NF")))
+    nfin = max(1, int(inst.param("NFIN")))
+    multi = max(1, int(inst.param("MULTI")))
+    length = inst.param("L")
+    strength = nfin * nf * multi * (L_REF / max(length, L_REF))
+    gm = GM_PER_FIN * strength
+    if inst.device_type == dev.TRANSISTOR_THICKGATE:
+        gm *= THICK_GM_SCALE
+    if drain_area is None:
+        drain_area = 90e-9 * nfin * 30e-9 * ((nf + 1) // 2) * multi
+    if source_area is None:
+        source_area = 90e-9 * nfin * 30e-9 * ((nf + 2) // 2) * multi
+    return MosSmallSignal(
+        gm=gm,
+        gds=max(LAMBDA * gm, 1e-9),
+        cgs=CGS_PER_FIN * nfin * nf * multi,
+        cgd=CGD_PER_FIN * nfin * nf * multi,
+        cdb=CJ_PER_AREA * drain_area,
+        csb=CJ_PER_AREA * source_area,
+    )
+
+
+def resistor_conductance(inst: Instance) -> float:
+    """Resistor conductance (defaults to 1 kOhm when unsized)."""
+    return 1.0 / max(inst.param("R", 1e3), 1e-3)
+
+
+def capacitor_value(inst: Instance) -> float:
+    """Explicit capacitor value (defaults derived from MULTI)."""
+    multi = max(1, int(inst.param("MULTI")))
+    return inst.param("C", 25e-15 * multi)
+
+
+def diode_small_signal(inst: Instance) -> tuple[float, float]:
+    """(conductance, junction capacitance) for a diode."""
+    nf = max(1, int(inst.param("NF")))
+    return DIODE_GD * nf, DIODE_CJ * nf
+
+
+def bjt_small_signal(inst: Instance) -> tuple[float, float]:
+    """(gm, g_pi) for a BJT in forward active."""
+    gm = BJT_GM
+    return gm, gm / BJT_BETA

@@ -1,0 +1,134 @@
+"""Circuit-metric computation on testbenches (paper Table V's 67 metrics).
+
+A :class:`Testbench` names a circuit, its driven input net, observed output
+net, and the metrics to extract.  :func:`compute_metrics` assembles the MNA
+system (with a chosen parasitic annotation), runs AC and/or transient
+analysis, and returns the metric values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.netlist import Circuit
+from repro.errors import SimulationError
+from repro.sim.ac import AcSweep, ac_analysis
+from repro.sim.mna import Annotations, MnaSystem, build_mna
+from repro.sim.transient import TransientResult, transient_step
+
+#: Metrics computed from the AC sweep.
+AC_METRICS = ("dc_gain", "bandwidth", "unity_gain_freq")
+#: Metrics computed from the transient step response.
+TRAN_METRICS = ("delay", "rise_time", "slew_rate")
+#: Metrics computed directly from the assembled matrices.
+STATIC_METRICS = ("cap_total",)
+
+ALL_METRIC_NAMES = (*AC_METRICS, *TRAN_METRICS, *STATIC_METRICS)
+
+
+@dataclass
+class Testbench:
+    """A metric-extraction setup for one circuit."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    name: str
+    circuit: Circuit
+    input_net: str
+    output_net: str
+    metrics: tuple[str, ...]
+
+    def __post_init__(self):
+        unknown = [m for m in self.metrics if m not in ALL_METRIC_NAMES]
+        if unknown:
+            raise SimulationError(f"unknown metrics {unknown} in {self.name!r}")
+
+
+def _ac_value(sweep: AcSweep, metric: str) -> float:
+    if metric == "dc_gain":
+        return sweep.dc_gain()
+    if metric == "bandwidth":
+        return sweep.bandwidth_3db()
+    return sweep.unity_gain_frequency()
+
+
+def _tran_value(result: TransientResult, metric: str) -> float:
+    if metric == "delay":
+        return result.delay_50()
+    if metric == "rise_time":
+        return result.rise_time()
+    return result.slew_rate()
+
+
+def _cap_total(system: MnaSystem) -> float:
+    """Total node capacitance (dynamic-power proxy: P = f V^2 C_total)."""
+    return float(np.trace(system.C[: system.num_nodes, : system.num_nodes])) / 2.0
+
+
+def compute_metrics(
+    bench: Testbench,
+    annotations: Annotations | None = None,
+    transient_resolution: int = 2000,
+) -> dict[str, float]:
+    """Run the analyses a testbench needs and return its metric values.
+
+    The transient window adapts to the circuit's 3 dB bandwidth so fast and
+    slow circuits are both resolved with *transient_resolution* steps.
+    """
+    system = build_mna(bench.circuit, bench.input_net, annotations)
+    values: dict[str, float] = {}
+
+    needs_ac = any(m in AC_METRICS for m in bench.metrics)
+    needs_tran = any(m in TRAN_METRICS for m in bench.metrics)
+    sweep = None
+    if needs_ac or needs_tran:
+        sweep = ac_analysis(system, bench.output_net)
+    for metric in bench.metrics:
+        if metric in AC_METRICS:
+            values[metric] = _ac_value(sweep, metric)
+    if needs_tran:
+        bandwidth = max(sweep.bandwidth_3db(), 1e6)
+        t_stop = float(np.clip(3.0 / bandwidth, 50e-12, 100e-9))
+        result = transient_step(
+            system,
+            bench.output_net,
+            t_stop=t_stop,
+            dt=t_stop / transient_resolution,
+        )
+        for metric in bench.metrics:
+            if metric in TRAN_METRICS:
+                values[metric] = _tran_value(result, metric)
+    if "cap_total" in bench.metrics:
+        values["cap_total"] = _cap_total(system)
+    return values
+
+
+@dataclass
+class MetricComparison:
+    """Relative errors of one annotation mode against the reference."""
+
+    mode: str
+    errors: dict[str, float] = field(default_factory=dict)  # "bench/metric" -> err
+
+    def error_list(self) -> list[float]:
+        return list(self.errors.values())
+
+
+def relative_metric_errors(
+    benches: list[Testbench],
+    reference: dict[str, dict[str, float]],
+    annotations_by_bench: dict[str, Annotations],
+    mode: str,
+) -> MetricComparison:
+    """Relative |error| of every bench/metric under one annotation mode."""
+    comparison = MetricComparison(mode=mode)
+    for bench in benches:
+        values = compute_metrics(bench, annotations_by_bench[bench.name])
+        for metric, value in values.items():
+            ref = reference[bench.name][metric]
+            if ref == 0:
+                continue
+            comparison.errors[f"{bench.name}/{metric}"] = abs(value - ref) / abs(ref)
+    return comparison

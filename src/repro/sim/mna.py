@@ -1,0 +1,203 @@
+"""Modified nodal analysis: matrix stamping for the linearized circuit.
+
+Builds the conductance matrix G, capacitance matrix C and source vector for
+a flat circuit.  Supply/ground nets are AC ground (eliminated); an ideal
+voltage source at the input net is handled with an MNA branch row.
+
+The result is the standard descriptor system ``C x' + G x = b u(t)`` whose
+AC and transient solutions live in :mod:`repro.sim.ac` and
+:mod:`repro.sim.transient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.errors import SimulationError
+from repro.sim.devices import (
+    bjt_small_signal,
+    capacitor_value,
+    diode_small_signal,
+    mos_small_signal,
+    resistor_conductance,
+)
+
+
+@dataclass
+class MnaSystem:
+    """Assembled MNA matrices.
+
+    ``x`` stacks node voltages (signal nets, in ``node_index`` order) and
+    then source branch currents.  ``b`` maps the single input-source value
+    onto the right-hand side.
+    """
+
+    G: np.ndarray
+    C: np.ndarray
+    b: np.ndarray
+    node_index: dict[str, int]
+    input_net: str
+    num_nodes: int
+
+    def node(self, net_name: str) -> int:
+        try:
+            return self.node_index[net_name]
+        except KeyError:
+            raise SimulationError(f"net {net_name!r} is not in the system") from None
+
+
+@dataclass
+class Annotations:
+    """Optional layout information folded into the simulation.
+
+    ``net_caps`` adds a lumped capacitance to ground per net;
+    ``device_areas`` maps instance name -> (SA, DA) for junction caps;
+    ``net_res`` adds trace resistance per net — each resistive net gets a
+    pi model (C/2 at the pins, R to a shadow node carrying the other C/2),
+    the standard lumped reduction of a distributed RC wire;
+    ``coupling`` adds net-to-net capacitances (crosstalk/Miller), keyed by
+    sorted net-name pairs.
+    """
+
+    net_caps: dict[str, float] = field(default_factory=dict)
+    device_areas: dict[str, tuple[float, float]] = field(default_factory=dict)
+    net_res: dict[str, float] = field(default_factory=dict)
+    coupling: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+def build_mna(
+    circuit: Circuit,
+    input_net: str,
+    annotations: Annotations | None = None,
+    gmin: float = 1e-9,
+) -> MnaSystem:
+    """Assemble the MNA system for *circuit* driven at *input_net*.
+
+    Raises
+    ------
+    SimulationError
+        If the input net does not exist or is a supply rail.
+    """
+    annotations = annotations or Annotations()
+    if not circuit.has_net(input_net):
+        raise SimulationError(f"input net {input_net!r} not in circuit")
+    if circuit.net(input_net).is_supply:
+        raise SimulationError(f"input net {input_net!r} is a supply rail")
+
+    signal = [net.name for net in circuit.signal_nets()]
+    node_index = {name: i for i, name in enumerate(signal)}
+    # Shadow nodes for resistive-wire pi models sit after the signal nets.
+    resistive = [
+        name
+        for name in signal
+        if annotations.net_res.get(name, 0.0) > 0
+        and annotations.net_caps.get(name, 0.0) > 0
+    ]
+    for name in resistive:
+        node_index[f"{name}#rc"] = len(node_index)
+    n = len(node_index)
+    size = n + 1  # one branch row for the input source
+    G = np.zeros((size, size))
+    C = np.zeros((size, size))
+    b = np.zeros(size)
+
+    def idx(net_name: str) -> int | None:
+        """Node index, or None for supply/ground (AC ground)."""
+        return node_index.get(net_name)
+
+    def stamp_g(a: str, bnet: str, g: float) -> None:
+        ia, ib = idx(a), idx(bnet)
+        if ia is not None:
+            G[ia, ia] += g
+        if ib is not None:
+            G[ib, ib] += g
+        if ia is not None and ib is not None:
+            G[ia, ib] -= g
+            G[ib, ia] -= g
+
+    def stamp_c(a: str, bnet: str, c: float) -> None:
+        ia, ib = idx(a), idx(bnet)
+        if ia is not None:
+            C[ia, ia] += c
+        if ib is not None:
+            C[ib, ib] += c
+        if ia is not None and ib is not None:
+            C[ia, ib] -= c
+            C[ib, ia] -= c
+
+    def stamp_vccs(out_p: str, out_n: str, ctl_p: str, ctl_n: str, gm: float) -> None:
+        """Current gm*(v_ctl_p - v_ctl_n) flowing out_p -> out_n."""
+        for out_net, sign_out in ((out_p, 1.0), (out_n, -1.0)):
+            io = idx(out_net)
+            if io is None:
+                continue
+            for ctl_net, sign_ctl in ((ctl_p, 1.0), (ctl_n, -1.0)):
+                ic = idx(ctl_net)
+                if ic is not None:
+                    G[io, ic] += gm * sign_out * sign_ctl
+
+    for inst in circuit.instances():
+        if dev.is_mos(inst.device_type):
+            areas = annotations.device_areas.get(inst.name)
+            model = mos_small_signal(
+                inst,
+                drain_area=areas[1] if areas else None,
+                source_area=areas[0] if areas else None,
+            )
+            d, g, s = inst.net_of("drain"), inst.net_of("gate"), inst.net_of("source")
+            stamp_vccs(d, s, g, s, model.gm)
+            stamp_g(d, s, model.gds)
+            stamp_c(g, s, model.cgs)
+            stamp_c(g, d, model.cgd)
+            stamp_c(d, "vss", model.cdb)
+            stamp_c(s, "vss", model.csb)
+        elif inst.device_type == dev.RESISTOR:
+            stamp_g(inst.net_of("p"), inst.net_of("n"), resistor_conductance(inst))
+        elif inst.device_type == dev.CAPACITOR:
+            stamp_c(inst.net_of("p"), inst.net_of("n"), capacitor_value(inst))
+        elif inst.device_type == dev.DIODE:
+            gd, cj = diode_small_signal(inst)
+            stamp_g(inst.net_of("p"), inst.net_of("n"), gd)
+            stamp_c(inst.net_of("p"), inst.net_of("n"), cj)
+        elif inst.device_type == dev.BJT:
+            gm, gpi = bjt_small_signal(inst)
+            c, bn, e = inst.net_of("c"), inst.net_of("b"), inst.net_of("e")
+            stamp_g(bn, e, gpi)
+            stamp_vccs(c, e, bn, e, gm)
+
+    # annotated net parasitics: plain lumped cap, or an RC pi model when a
+    # trace resistance is annotated too
+    for net_name, cap in annotations.net_caps.items():
+        if idx(net_name) is None or cap <= 0:
+            continue
+        resistance = annotations.net_res.get(net_name, 0.0)
+        if resistance > 0:
+            shadow = f"{net_name}#rc"
+            stamp_c(net_name, "vss", cap / 2.0)
+            stamp_g(net_name, shadow, 1.0 / resistance)
+            stamp_c(shadow, "vss", cap / 2.0)
+        else:
+            stamp_c(net_name, "vss", cap)
+
+    # net-to-net coupling capacitances
+    for (net_a, net_b), cap in annotations.coupling.items():
+        if cap > 0:
+            stamp_c(net_a, net_b, cap)
+
+    # gmin to ground keeps floating nodes solvable
+    for i in range(n):
+        G[i, i] += gmin
+
+    # ideal voltage source at the input net: branch row n
+    vin = node_index[input_net]
+    G[vin, n] += 1.0
+    G[n, vin] += 1.0
+    b[n] = 1.0
+
+    return MnaSystem(
+        G=G, C=C, b=b, node_index=node_index, input_net=input_net, num_nodes=n
+    )

@@ -1,0 +1,208 @@
+"""The 67-metric testbench suite used for the Table V experiment.
+
+Sixteen testbenches over the generator blocks, together contributing
+exactly 67 circuit metrics (the paper evaluates "a total of 67 key circuit
+metrics ... slew rate, insertion delay, power, etc.").  Amplifier benches
+report gain/bandwidth metrics; signal-path benches report delay/slew;
+``cap_total`` is the dynamic-power proxy.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import analog, digital, mixed
+from repro.circuits.netlist import Circuit
+from repro.sim.metrics import Testbench
+
+
+def _with_load(block: Circuit, port_map: dict[str, str], name: str,
+               load_net: str | None = None, load_r: float = 50e3) -> Circuit:
+    """Wrap a block into a bench circuit, optionally adding a load resistor."""
+    bench = Circuit(name)
+    bench.embed(block, "dut", port_map)
+    if load_net is not None:
+        bench.add_instance(
+            "rload", dev.RESISTOR, {"p": load_net, "n": "vss"}, {"L": 2e-6, "R": load_r}
+        )
+    return bench
+
+
+def build_testbenches() -> list[Testbench]:
+    """Construct the full metric suite (67 metrics across 16 benches)."""
+    benches: list[Testbench] = []
+
+    # 1. short inverter chain: 5 metrics
+    chain = digital.inverter_chain(stages=6, name="chain6")
+    benches.append(Testbench(
+        "inv_chain6",
+        _with_load(chain, {"in": "in", "out": "out"}, "tb_chain6"),
+        "in", "out",
+        ("delay", "rise_time", "slew_rate", "bandwidth", "cap_total"),
+    ))
+
+    # 2. long inverter chain: 4 metrics
+    chain12 = digital.inverter_chain(stages=12, taper=1.3, name="chain12")
+    benches.append(Testbench(
+        "inv_chain12",
+        _with_load(chain12, {"in": "in", "out": "out"}, "tb_chain12"),
+        "in", "out",
+        ("delay", "rise_time", "slew_rate", "cap_total"),
+    ))
+
+    # 3. tapered buffer: 5 metrics
+    from repro.circuits.generators.primitives import buffer
+
+    buf = buffer(stages=3, name="buf3")
+    benches.append(Testbench(
+        "buffer3",
+        _with_load(buf, {"a": "in", "y": "out"}, "tb_buf3"),
+        "in", "out",
+        ("delay", "rise_time", "slew_rate", "bandwidth", "cap_total"),
+    ))
+
+    # 4. 5T OTA open loop: 5 metrics
+    ota = analog.ota_5t()
+    benches.append(Testbench(
+        "ota5t",
+        _with_load(ota, {"inp": "in", "inn": "vss", "out": "out", "bias": "bias"},
+                   "tb_ota", load_net="out"),
+        "in", "out",
+        ("dc_gain", "bandwidth", "unity_gain_freq", "rise_time", "cap_total"),
+    ))
+
+    # 5. two-stage op-amp: 5 metrics
+    opamp = analog.two_stage_opamp()
+    benches.append(Testbench(
+        "opamp2",
+        _with_load(opamp, {"inp": "in", "inn": "vss", "out": "out", "bias": "bias"},
+                   "tb_opamp", load_net="out"),
+        "in", "out",
+        ("dc_gain", "bandwidth", "unity_gain_freq", "slew_rate", "cap_total"),
+    ))
+
+    # 6. RC filter: 4 metrics
+    filt = analog.rc_filter(stages=3)
+    benches.append(Testbench(
+        "rcfilter3",
+        _with_load(filt, {"in": "in", "out": "out"}, "tb_rc"),
+        "in", "out",
+        ("dc_gain", "bandwidth", "delay", "rise_time"),
+    ))
+
+    # 7. LDO: 4 metrics
+    ldo = analog.ldo_regulator()
+    benches.append(Testbench(
+        "ldo",
+        _with_load(ldo, {"vref": "in", "vreg": "out", "bias": "bias"}, "tb_ldo"),
+        "in", "out",
+        ("dc_gain", "bandwidth", "rise_time", "cap_total"),
+    ))
+
+    # 8. source follower: 4 metrics
+    fol = analog.source_follower()
+    benches.append(Testbench(
+        "srcfol",
+        _with_load(fol, {"in": "in", "out": "out", "bias": "bias"}, "tb_fol",
+                   load_net="out"),
+        "in", "out",
+        ("dc_gain", "bandwidth", "delay", "rise_time"),
+    ))
+
+    # 9. current mirror with load: 4 metrics
+    mirror = analog.current_mirror(n_outputs=2)
+    bench_mirror = _with_load(
+        mirror, {"iin": "in", "iout0": "out", "iout1": "out2"}, "tb_mirror",
+        load_net="out", load_r=25e3,
+    )
+    bench_mirror.add_instance(
+        "rin", dev.RESISTOR, {"p": "in", "n": "vss"}, {"L": 2e-6, "R": 25e3}
+    )
+    benches.append(Testbench(
+        "cmirror", bench_mirror, "in", "out",
+        ("dc_gain", "bandwidth", "delay", "cap_total"),
+    ))
+
+    # 10. diff pair with resistor loads: 4 metrics
+    pair = analog.diff_pair()
+    bench_pair = _with_load(
+        pair,
+        {"inp": "in", "inn": "vss", "outp": "out", "outn": "outn", "bias": "bias"},
+        "tb_pair", load_net="out",
+    )
+    bench_pair.add_instance(
+        "rloadn", dev.RESISTOR, {"p": "outn", "n": "vss"}, {"L": 2e-6, "R": 50e3}
+    )
+    benches.append(Testbench(
+        "diffpair", bench_pair, "in", "out",
+        ("dc_gain", "bandwidth", "unity_gain_freq", "cap_total"),
+    ))
+
+    # 11. NAND tree: 4 metrics
+    tree = digital.nand_tree(depth=2)
+    tree_map = {f"in{i}": ("in" if i == 0 else "vdd") for i in range(4)}
+    tree_map["out"] = "out"
+    benches.append(Testbench(
+        "nandtree",
+        _with_load(tree, tree_map, "tb_tree"),
+        "in", "out",
+        ("delay", "rise_time", "slew_rate", "cap_total"),
+    ))
+
+    # 12. SRAM bitline: 4 metrics
+    sram = digital.sram_array(rows=4, cols=2)
+    sram_map = {}
+    for r in range(4):
+        sram_map[f"wl{r}"] = "in" if r == 0 else "vss"
+    for k in range(2):
+        sram_map[f"bl{k}"] = "bl0" if k == 0 else f"blx{k}"
+        sram_map[f"blb{k}"] = f"blbx{k}"
+    benches.append(Testbench(
+        "sram_bitline",
+        _with_load(sram, sram_map, "tb_sram", load_net="bl0", load_r=100e3),
+        "in", "bl0",
+        ("dc_gain", "bandwidth", "delay", "cap_total"),
+    ))
+
+    # 13. level shifter: 4 metrics
+    shifter = mixed.level_shifter()
+    benches.append(Testbench(
+        "lvlshift",
+        _with_load(shifter, {"in": "in", "out": "out"}, "tb_ls", load_net="out"),
+        "in", "out",
+        ("delay", "rise_time", "slew_rate", "cap_total"),
+    ))
+
+    # 14. R-2R DAC: 4 metrics
+    dac = mixed.r2r_dac(bits=3)
+    dac_map = {"b0": "in", "b1": "vss", "b2": "vss", "out": "out"}
+    benches.append(Testbench(
+        "r2rdac",
+        _with_load(dac, dac_map, "tb_dac"),
+        "in", "out",
+        ("dc_gain", "bandwidth", "delay", "rise_time"),
+    ))
+
+    # 15. charge pump: 3 metrics
+    pump = mixed.charge_pump(stages=2)
+    benches.append(Testbench(
+        "chpump",
+        _with_load(pump, {"clk": "in", "clkb": "vss", "vout": "out"}, "tb_cp"),
+        "in", "out",
+        ("dc_gain", "bandwidth", "cap_total"),
+    ))
+
+    # 16. IO driver: 4 metrics
+    io = mixed.io_driver(drive_nfin=24)
+    benches.append(Testbench(
+        "iodrv",
+        _with_load(io, {"d": "in", "pad": "out", "en": "vdd"}, "tb_io"),
+        "in", "out",
+        ("delay", "rise_time", "slew_rate", "cap_total"),
+    ))
+
+    return benches
+
+
+def total_metric_count(benches: list[Testbench]) -> int:
+    """Number of metrics across the suite (67, matching the paper)."""
+    return sum(len(bench.metrics) for bench in benches)

@@ -1,0 +1,127 @@
+"""Engineering-unit helpers.
+
+All quantities inside the library are plain SI floats (farads, metres,
+seconds, ...).  This module converts between those floats and the
+SPICE-style engineering notation used in netlists and reports
+(``4.5f`` = 4.5 fF, ``16n`` = 16 nm, ``2.2u``, ``10p`` ...).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import UnitError
+
+#: SPICE suffix -> multiplier.  ``meg`` must be matched before ``m``.
+_SUFFIXES: dict[str, float] = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_VALUE_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z]*)\s*$"
+)
+
+#: Exponent-of-1000 -> display suffix, for :func:`format_eng`.
+_DISPLAY = {
+    -6: "a",
+    -5: "f",
+    -4: "p",
+    -3: "n",
+    -2: "u",
+    -1: "m",
+    0: "",
+    1: "k",
+    2: "meg",  # SPICE-safe: a bare "M" would parse as milli
+    3: "G",
+    4: "T",
+}
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style engineering value into a plain float.
+
+    Accepts floats/ints unchanged.  Unit tails after the scale suffix are
+    tolerated and ignored, as SPICE does (``10pF`` == ``10p``)::
+
+        >>> parse_value("4.5f")
+        4.5e-15
+        >>> parse_value("2meg")
+        2000000.0
+
+    Raises
+    ------
+    UnitError
+        If *text* is not a number followed by an optional known suffix.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _VALUE_RE.match(text)
+    if not match:
+        raise UnitError(f"cannot parse engineering value {text!r}")
+    number, tail = match.groups()
+    value = float(number)
+    tail = tail.lower()
+    if not tail:
+        return value
+    if tail.startswith("meg"):
+        return value * 1e6
+    suffix = tail[0]
+    if suffix in _SUFFIXES:
+        return value * _SUFFIXES[suffix]
+    # A bare unit such as "F" or "Hz" with no scale prefix.
+    if tail.isalpha():
+        return value
+    raise UnitError(f"unknown engineering suffix {tail!r} in {text!r}")
+
+
+def format_eng(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format *value* with an engineering (power-of-1000) prefix.
+
+    >>> format_eng(4.5e-15, "F")
+    '4.5fF'
+    >>> format_eng(0.0, "F")
+    '0F'
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g}{unit}"
+    exponent = int(math.floor(math.log10(abs(value)) / 3))
+    exponent = max(min(exponent, max(_DISPLAY)), min(_DISPLAY))
+    scaled = value / 1000.0**exponent
+    text = f"{scaled:.{digits}g}"
+    return f"{text}{_DISPLAY[exponent]}{unit}"
+
+
+def femto(value: float) -> float:
+    """Convert a number expressed in femto-units to SI (4.5 -> 4.5e-15)."""
+    return value * 1e-15
+
+
+def pico(value: float) -> float:
+    """Convert a number expressed in pico-units to SI."""
+    return value * 1e-12
+
+
+def nano(value: float) -> float:
+    """Convert a number expressed in nano-units to SI."""
+    return value * 1e-9
+
+
+def micro(value: float) -> float:
+    """Convert a number expressed in micro-units to SI."""
+    return value * 1e-6
+
+
+def to_femto(value: float) -> float:
+    """Express an SI value in femto-units (4.5e-15 -> 4.5)."""
+    return value * 1e15

@@ -1,0 +1,133 @@
+"""Tests for R²/MAE/MAPE, error histograms and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ERROR_BIN_LABELS,
+    error_range_histogram,
+    geometric_mean_error,
+    mae,
+    mape,
+    r_squared,
+    summarize,
+)
+from repro.analysis.tables import format_percent, render_table
+from repro.errors import ReproError
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, y.mean())
+        assert r_squared(y, pred) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.array([3.0, 2.0, 1.0])) < 0
+
+    def test_constant_truth(self):
+        y = np.ones(3)
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, y + 1) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            r_squared([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            r_squared([], [])
+
+
+class TestMaeMape:
+    def test_mae(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mape(self):
+        assert mape([1.0, 2.0], [1.1, 1.8]) == pytest.approx(0.1)
+
+    def test_mape_zero_truth_raises(self):
+        with pytest.raises(ReproError):
+            mape([0.0], [1.0])
+
+    def test_mape_eps_guard(self):
+        assert np.isfinite(mape([0.0], [1.0], eps=1e-6))
+
+    def test_summarize_keys(self):
+        result = summarize([1.0, 2.0], [1.0, 2.0])
+        assert result == {"r2": 1.0, "mae": 0.0, "mape": 0.0}
+
+
+class TestHistogram:
+    def test_bins_match_table5(self):
+        errors = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 5.0]
+        hist = error_range_histogram(errors)
+        assert hist["< 10%"] == 1
+        assert hist["10%-20%"] == 1
+        assert hist["20%-30%"] == 1
+        assert hist["30%-40%"] == 1
+        assert hist["40%-50%"] == 1
+        assert hist["> 50%"] == 2
+
+    def test_all_labels_present(self):
+        hist = error_range_histogram([0.01])
+        assert tuple(hist) == ERROR_BIN_LABELS
+
+    def test_boundary_goes_up(self):
+        assert error_range_histogram([0.10])["10%-20%"] == 1
+
+    def test_geometric_mean(self):
+        assert geometric_mean_error([0.1, 0.1]) == pytest.approx(0.1)
+        assert geometric_mean_error([0.01, 1.0]) == pytest.approx(0.1)
+
+    def test_geometric_mean_floor(self):
+        assert geometric_mean_error([0.0], floor=1e-3) == pytest.approx(1e-3)
+
+    def test_geometric_mean_empty_raises(self):
+        with pytest.raises(ReproError):
+            geometric_mean_error([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 50))
+def test_property_r2_at_most_one(seed, n):
+    rng = np.random.default_rng(seed)
+    y = rng.standard_normal(n)
+    pred = rng.standard_normal(n)
+    assert r_squared(y, pred) <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_histogram_conserves_count(seed):
+    rng = np.random.default_rng(seed)
+    errors = rng.exponential(0.3, size=40)
+    hist = error_range_histogram(errors)
+    assert sum(hist.values()) == 40
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_with_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_render_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+    def test_format_percent(self):
+        assert format_percent(0.1525) == "15.2%"
+        assert format_percent(1.0, digits=0) == "100%"

@@ -1,0 +1,75 @@
+"""Tests for the exact t-SNE implementation and the Fig. 8 statistic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tsne import neighborhood_label_agreement, tsne
+from repro.errors import ReproError
+
+
+def _two_clusters(n=40, d=10, gap=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n // 2, d))
+    b = rng.standard_normal((n // 2, d)) + gap
+    X = np.concatenate([a, b])
+    labels = np.array([0.0] * (n // 2) + [1.0] * (n // 2))
+    return X, labels
+
+
+class TestTsne:
+    def test_output_shape(self):
+        X, _ = _two_clusters()
+        Y = tsne(X, n_iter=60)
+        assert Y.shape == (len(X), 2)
+        assert np.isfinite(Y).all()
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ReproError):
+            tsne(np.ones((2, 3)))
+
+    def test_deterministic_given_seed(self):
+        X, _ = _two_clusters()
+        a = tsne(X, n_iter=40, seed=5)
+        b = tsne(X, n_iter=40, seed=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_separates_two_clusters(self):
+        """Cluster centroids in the embedding are farther apart than the
+        within-cluster spread."""
+        X, labels = _two_clusters()
+        Y = tsne(X, n_iter=200, seed=0)
+        a, b = Y[labels == 0], Y[labels == 1]
+        centroid_gap = np.linalg.norm(a.mean(axis=0) - b.mean(axis=0))
+        spread = max(a.std(), b.std())
+        assert centroid_gap > 2 * spread
+
+    def test_centered_output(self):
+        X, _ = _two_clusters()
+        Y = tsne(X, n_iter=40)
+        np.testing.assert_allclose(Y.mean(axis=0), 0.0, atol=1e-8)
+
+
+class TestAgreement:
+    def test_structured_embedding_scores_high(self):
+        X, labels = _two_clusters(n=60)
+        Y = tsne(X, n_iter=150, seed=1)
+        assert neighborhood_label_agreement(Y, labels) > 0.5
+
+    def test_random_embedding_scores_near_zero(self):
+        rng = np.random.default_rng(0)
+        Y = rng.standard_normal((100, 2))
+        labels = rng.standard_normal(100)
+        assert abs(neighborhood_label_agreement(Y, labels)) < 0.25
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            neighborhood_label_agreement(np.ones((5, 2)), np.ones(4))
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ReproError):
+            neighborhood_label_agreement(np.ones((3, 2)), np.ones(3), k=10)
+
+    def test_constant_labels(self):
+        rng = np.random.default_rng(0)
+        Y = rng.standard_normal((30, 2))
+        assert neighborhood_label_agreement(Y, np.ones(30)) == 0.0

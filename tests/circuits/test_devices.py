@@ -1,0 +1,77 @@
+"""Tests for the device registry (paper Tables I/II taxonomy)."""
+
+import pytest
+
+from repro.circuits import devices as dev
+from repro.errors import NetlistError
+
+
+class TestRegistry:
+    def test_all_types_registered(self):
+        for device_type in dev.DEVICE_TYPES:
+            assert dev.spec_for(device_type).name == device_type
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(NetlistError):
+            dev.spec_for("memristor")
+
+    def test_node_types_include_net(self):
+        assert dev.NET in dev.NODE_TYPES
+        assert len(dev.NODE_TYPES) == len(dev.DEVICE_TYPES) + 1
+
+    def test_mos_terminals(self):
+        spec = dev.spec_for(dev.TRANSISTOR)
+        assert spec.terminals == ("drain", "gate", "source", "bulk")
+
+    def test_is_mos(self):
+        assert dev.is_mos(dev.TRANSISTOR)
+        assert dev.is_mos(dev.TRANSISTOR_THICKGATE)
+        assert not dev.is_mos(dev.RESISTOR)
+
+    def test_table2_features(self):
+        """Feature lists match paper Table II."""
+        assert dev.spec_for(dev.TRANSISTOR).features == ("L", "NF", "NFIN", "MULTI")
+        assert dev.spec_for(dev.TRANSISTOR_THICKGATE).features == ("L", "NF", "NFIN", "MULTI")
+        assert dev.spec_for(dev.RESISTOR).features == ("L",)
+        assert dev.spec_for(dev.CAPACITOR).features == ("MULTI",)
+        assert dev.spec_for(dev.DIODE).features == ("NF",)
+        assert dev.spec_for(dev.BJT).features == ("ONE",)
+
+
+class TestFeatureVector:
+    def test_defaults_applied(self):
+        spec = dev.spec_for(dev.TRANSISTOR)
+        vec = spec.feature_vector({})
+        assert len(vec) == 4
+        assert vec == [16e-9, 1.0, 2.0, 1.0]
+
+    def test_explicit_overrides_defaults(self):
+        spec = dev.spec_for(dev.TRANSISTOR)
+        vec = spec.feature_vector({"NFIN": 8.0})
+        assert vec[2] == 8.0
+
+    def test_bjt_constant_feature(self):
+        spec = dev.spec_for(dev.BJT)
+        assert spec.feature_vector({}) == [1.0]
+
+    def test_missing_feature_raises(self):
+        spec = dev.spec_for(dev.RESISTOR)
+        with pytest.raises(NetlistError):
+            dev.DeviceSpec(
+                name="broken", terminals=("p",), features=("NOPE",)
+            ).feature_vector({})
+        assert spec.feature_vector({"L": 2e-6}) == [2e-6]
+
+
+class TestEdgeTypes:
+    def test_transistor_edge_types(self):
+        labels = dev.terminal_edge_types(dev.TRANSISTOR)
+        assert labels == [
+            "transistor_drain",
+            "transistor_gate",
+            "transistor_source",
+            "transistor_bulk",
+        ]
+
+    def test_resistor_edge_types(self):
+        assert dev.terminal_edge_types(dev.RESISTOR) == ["resistor_p", "resistor_n"]

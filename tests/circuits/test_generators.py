@@ -1,0 +1,250 @@
+"""Tests for block generators: structural validity and expected content."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import analog, chip, digital, mixed, primitives
+from repro.circuits.validate import validate_circuit
+
+
+def _types(circuit):
+    return {inst.device_type for inst in circuit.instances()}
+
+
+class TestPrimitives:
+    def test_inverter_valid(self):
+        c = primitives.inverter()
+        validate_circuit(c)
+        assert c.num_instances == 2
+        assert c.fanout("a") == 2
+
+    def test_nand2_has_series_stack(self):
+        c = primitives.nand2()
+        validate_circuit(c)
+        # the internal "mid" net joins exactly two NMOS (drain of one, source of other)
+        hits = c.instances_on_net("mid")
+        assert {t for _, t in hits} == {"drain", "source"}
+
+    def test_nor2_valid(self):
+        validate_circuit(primitives.nor2())
+
+    def test_tgate_valid(self):
+        validate_circuit(primitives.transmission_gate())
+
+    def test_buffer_stages(self):
+        c = primitives.buffer(stages=3)
+        validate_circuit(c)
+        assert c.num_instances == 6
+
+    def test_buffer_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            primitives.buffer(stages=0)
+
+    def test_latch_cross_coupled(self):
+        c = primitives.latch_cell()
+        validate_circuit(c)
+        assert c.fanout("q") == 4  # gate+gate / drain+drain of the two inverters
+
+
+class TestAnalog:
+    def test_current_mirror_shared_gate(self):
+        c = analog.current_mirror(n_outputs=3)
+        validate_circuit(c)
+        # diode device: gate+drain on iin, plus 3 mirror gates
+        assert c.fanout("iin") == 5
+
+    def test_current_mirror_ratios_validation(self):
+        with pytest.raises(ValueError):
+            analog.current_mirror(n_outputs=2, ratios=[1.0])
+        with pytest.raises(ValueError):
+            analog.current_mirror(n_outputs=0)
+
+    def test_diff_pair_tail_net(self):
+        c = analog.diff_pair()
+        validate_circuit(c)
+        assert c.fanout("tail") == 3
+
+    def test_ota_5t_count(self):
+        c = analog.ota_5t()
+        validate_circuit(c)
+        assert c.num_instances == 5
+
+    def test_two_stage_opamp_has_passives(self):
+        c = analog.two_stage_opamp()
+        validate_circuit(c)
+        types = _types(c)
+        assert dev.RESISTOR in types and dev.CAPACITOR in types
+
+    def test_comparator_valid(self):
+        validate_circuit(analog.strongarm_comparator())
+
+    def test_bandgap_has_bjts(self):
+        c = analog.bandgap_reference(n_ratio=4)
+        validate_circuit(c)
+        counts = c.device_counts()
+        assert counts[dev.BJT] == 6  # q1 + 4 ratio + q3
+
+    def test_ldo_uses_thickgate_pass(self):
+        c = analog.ldo_regulator()
+        validate_circuit(c)
+        assert c.instance("mpass").device_type == dev.TRANSISTOR_THICKGATE
+
+    def test_rc_filter_stage_validation(self):
+        with pytest.raises(ValueError):
+            analog.rc_filter(stages=0)
+        validate_circuit(analog.rc_filter(stages=3))
+
+    def test_bias_network_valid(self):
+        validate_circuit(analog.bias_network(n_branches=4))
+
+    def test_source_follower_valid(self):
+        validate_circuit(analog.source_follower())
+
+
+class TestDigital:
+    def test_inverter_chain_topology(self):
+        c = digital.inverter_chain(stages=5)
+        validate_circuit(c)
+        assert c.num_instances == 10
+        assert c.fanout("out") == 2
+
+    def test_ring_oscillator_rejects_even(self):
+        with pytest.raises(ValueError):
+            digital.ring_oscillator(stages=4)
+
+    def test_ring_oscillator_valid(self):
+        validate_circuit(digital.ring_oscillator(stages=5))
+
+    def test_sram_array_bitline_fanout_scales_with_rows(self):
+        small = digital.sram_array(rows=2, cols=1)
+        large = digital.sram_array(rows=6, cols=1)
+        validate_circuit(small)
+        validate_circuit(large)
+        assert large.fanout("bl0") == 3 * small.fanout("bl0")
+
+    def test_nand_tree_input_count(self):
+        c = digital.nand_tree(depth=3)
+        validate_circuit(c)
+        assert c.has_net("in7")
+
+    def test_mux_tree_valid(self):
+        validate_circuit(digital.mux_tree(depth=2))
+
+    def test_clock_tree_leaves(self):
+        c = digital.clock_tree(fanout=2, depth=3)
+        validate_circuit(c)
+        assert c.has_net("leaf7")
+
+    @pytest.mark.parametrize(
+        "factory", [
+            lambda: digital.inverter_chain(stages=0),
+            lambda: digital.nand_tree(depth=0),
+            lambda: digital.mux_tree(depth=0),
+            lambda: digital.clock_tree(fanout=0),
+        ],
+    )
+    def test_parameter_validation(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestMixed:
+    def test_level_shifter_thickgate(self):
+        c = mixed.level_shifter()
+        validate_circuit(c)
+        assert c.device_counts()[dev.TRANSISTOR_THICKGATE] == 4
+
+    def test_io_driver_has_esd_diodes(self):
+        c = mixed.io_driver()
+        validate_circuit(c)
+        assert c.device_counts()[dev.DIODE] == 2
+
+    def test_r2r_dac_resistor_count(self):
+        c = mixed.r2r_dac(bits=4)
+        validate_circuit(c)
+        # 4x 2R legs + 3 ladder Rs + terminator
+        assert c.device_counts()[dev.RESISTOR] == 8
+
+    def test_charge_pump_valid(self):
+        c = mixed.charge_pump(stages=3)
+        validate_circuit(c)
+        assert c.device_counts()[dev.CAPACITOR] == 4
+
+    def test_flash_adc_comparator_bank(self):
+        c = mixed.flash_adc_slice(bits=2)
+        validate_circuit(c)
+        assert c.fanout("vin") == 3  # one comparator input per code
+
+    @pytest.mark.parametrize(
+        "factory", [
+            lambda: mixed.r2r_dac(bits=0),
+            lambda: mixed.charge_pump(stages=0),
+        ],
+    )
+    def test_parameter_validation(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestChipComposer:
+    def test_every_family_buildable_both_variants(self):
+        rng = np.random.default_rng(0)
+        for name, factory in chip.BLOCK_FAMILIES.items():
+            for variant in (False, True):
+                block = factory(rng, variant)
+                validate_circuit(block, require_signal_nets=False)
+
+    def test_compose_chip_deterministic(self):
+        a = chip.compose_chip(chip.TRAIN_RECIPES[0], seed=5).circuit
+        b = chip.compose_chip(chip.TRAIN_RECIPES[0], seed=5).circuit
+        assert [i.name for i in a.instances()] == [i.name for i in b.instances()]
+        assert {n.name for n in a.nets()} == {n.name for n in b.nets()}
+
+    def test_compose_chip_seed_changes_result(self):
+        a = chip.compose_chip(chip.TRAIN_RECIPES[3], seed=1).circuit
+        b = chip.compose_chip(chip.TRAIN_RECIPES[3], seed=2).circuit
+        conns_a = sorted(str(i.conns) for i in a.instances())
+        conns_b = sorted(str(i.conns) for i in b.instances())
+        assert conns_a != conns_b
+
+    def test_scale_grows_circuit(self):
+        small = chip.compose_chip(chip.TRAIN_RECIPES[3], seed=0, scale=0.5).circuit
+        big = chip.compose_chip(chip.TRAIN_RECIPES[3], seed=0, scale=2.0).circuit
+        assert big.num_instances > small.num_instances
+
+    def test_build_dataset_names(self):
+        train, test = chip.build_dataset(seed=0, scale=0.3)
+        assert set(train) == {f"t{i}" for i in range(1, 19)}
+        assert set(test) == {f"e{i}" for i in range(1, 5)}
+
+    def test_dataset_all_valid(self):
+        train, test = chip.build_dataset(seed=0, scale=0.3)
+        for circuit in {**train, **test}.values():
+            validate_circuit(circuit)
+
+    def test_table4_shape_preserved(self):
+        """Qualitative Table IV checks: t1 is tiny analog-only; thick rows exist."""
+        train, test = chip.build_dataset(seed=0, scale=1.0)
+        rows = {r["circuit"]: r for r in chip.table4_rows(train)}
+        assert rows["t1"][dev.TRANSISTOR_THICKGATE] == 0
+        assert rows["t1"][dev.RESISTOR] == 0
+        assert rows["t8"][dev.TRANSISTOR] == 0  # thick-gate only
+        assert rows["t4"]["net"] == max(r["net"] for r in rows.values())
+        erows = {r["circuit"]: r for r in chip.table4_rows(test)}
+        assert erows["e1"][dev.TRANSISTOR_THICKGATE] == 0
+
+    def test_table4_rows_columns(self):
+        train, _ = chip.build_dataset(seed=0, scale=0.2)
+        row = chip.table4_rows(train)[0]
+        assert set(row) == {"circuit", "net", *dev.DEVICE_TYPES}
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_composed_chips_always_valid(seed):
+    """Any seed yields a structurally valid composed chip."""
+    composed = chip.compose_chip(chip.TRAIN_RECIPES[1], seed=seed, scale=0.5)
+    validate_circuit(composed.circuit)

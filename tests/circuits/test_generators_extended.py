@@ -1,0 +1,77 @@
+"""Tests for the extended generator families (cascodes, VCO, delay line)."""
+
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import analog, digital
+from repro.circuits.validate import validate_circuit
+from repro.layout import find_diffusion_chains, sharing_summary
+
+
+class TestFoldedCascode:
+    def test_valid(self):
+        c = analog.folded_cascode_ota()
+        validate_circuit(c)
+        # pair (2) + tail + 2 folding sources + 2 PMOS cascodes
+        # + 2 NMOS cascodes + 2 mirror devices
+        assert c.num_instances == 11
+
+    def test_has_deep_series_chains(self):
+        """Cascodes create signal-connected diffusion chains (MTS)."""
+        c = analog.folded_cascode_ota(nfin_in=4, nfin_cascode=4)
+        summary = sharing_summary(find_diffusion_chains(c))
+        assert summary["longest_chain"] >= 2
+
+    def test_output_net_fanout(self):
+        c = analog.folded_cascode_ota()
+        assert c.fanout("out") >= 2
+
+
+class TestVco:
+    def test_even_stage_count_rejected(self):
+        with pytest.raises(ValueError):
+            analog.current_starved_vco(stages=4)
+
+    def test_valid(self):
+        c = analog.current_starved_vco(stages=5)
+        validate_circuit(c)
+        # 4 devices per stage + 2 bias + output buffer (2)
+        assert c.num_instances == 4 * 5 + 2 + 2
+
+    def test_control_net_fanout_scales_with_stages(self):
+        small = analog.current_starved_vco(stages=3)
+        large = analog.current_starved_vco(stages=9)
+        assert large.fanout("vctl") > small.fanout("vctl")
+
+
+class TestDelayLine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            digital.delay_line(taps=0)
+        with pytest.raises(ValueError):
+            digital.delay_line(stage_pairs=0)
+
+    def test_structure(self):
+        c = digital.delay_line(taps=3, stage_pairs=2)
+        validate_circuit(c)
+        # 2 inverters per pair x 2 pairs x 3 taps
+        assert c.num_instances == 2 * 2 * 2 * 3
+        assert c.has_net("tap2")
+
+
+class TestShiftRegister:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            digital.shift_register(bits=0)
+
+    def test_structure(self):
+        c = digital.shift_register(bits=3)
+        validate_circuit(c)
+        # per bit: 2 tgates (2 devices each) + 2 inverters (2 each) = 8
+        assert c.num_instances == 8 * 3
+        assert c.fanout("clk") >= 6  # tgate gates on every bit
+
+    def test_chains_through_stages(self):
+        c = digital.shift_register(bits=2)
+        q0 = c.fanout("q0")
+        assert q0 >= 2  # inverter drain pair + next-stage tgate

@@ -1,0 +1,82 @@
+"""Property-based SPICE round-trip tests over randomly generated circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.circuits.spice import read_spice, write_spice
+
+_NETS = ["in", "out", "mid", "fb", "bias", "vdd", "vss"]
+
+
+@st.composite
+def random_circuits(draw):
+    """Random flat circuits using every device type."""
+    circuit = Circuit("random")
+    n_devices = draw(st.integers(1, 12))
+    for index in range(n_devices):
+        kind = draw(st.sampled_from(list(dev.DEVICE_TYPES)))
+        nets = st.sampled_from(_NETS)
+        if dev.is_mos(kind):
+            circuit.add_instance(
+                f"m{index}", kind,
+                {
+                    "drain": draw(nets), "gate": draw(nets),
+                    "source": draw(nets), "bulk": draw(st.sampled_from(["vdd", "vss"])),
+                },
+                {
+                    "TYPE": draw(st.sampled_from([dev.NMOS, dev.PMOS])),
+                    "NFIN": draw(st.integers(1, 16)),
+                    "NF": draw(st.integers(1, 8)),
+                    "L": draw(st.sampled_from([16e-9, 32e-9, 150e-9])),
+                    "MULTI": draw(st.integers(1, 4)),
+                },
+            )
+        elif kind == dev.RESISTOR:
+            circuit.add_instance(
+                f"r{index}", kind, {"p": draw(nets), "n": draw(nets)},
+                {"R": draw(st.sampled_from([1e3, 10e3, 50e3])), "L": 2e-6},
+            )
+        elif kind == dev.CAPACITOR:
+            circuit.add_instance(
+                f"c{index}", kind, {"p": draw(nets), "n": draw(nets)},
+                {"C": draw(st.sampled_from([1e-15, 25e-15, 1e-12])), "MULTI": 2},
+            )
+        elif kind == dev.DIODE:
+            circuit.add_instance(
+                f"d{index}", kind, {"p": draw(nets), "n": draw(nets)},
+                {"NF": draw(st.integers(1, 8))},
+            )
+        else:  # BJT
+            circuit.add_instance(
+                f"q{index}", kind,
+                {"c": draw(nets), "b": draw(nets), "e": draw(nets)},
+                {"POLARITY": draw(st.sampled_from([1.0, -1.0]))},
+            )
+    return circuit
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuit=random_circuits())
+def test_property_spice_roundtrip(circuit):
+    """write -> read preserves structure, connectivity and parameters."""
+    reparsed = read_spice(write_spice(circuit), name=circuit.name)
+    assert reparsed.num_instances == circuit.num_instances
+    for inst in circuit.instances():
+        twin = reparsed.instance(inst.name)
+        assert twin.device_type == inst.device_type
+        assert twin.conns == inst.conns
+        for key, value in inst.params.items():
+            assert twin.param(key) == pytest.approx(value, rel=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=random_circuits())
+def test_property_double_roundtrip_stable(circuit):
+    """The second write is byte-identical to the first (fixed point)."""
+    once = write_spice(read_spice(write_spice(circuit)))
+    twice = write_spice(read_spice(once))
+    assert once == twice

@@ -1,0 +1,11 @@
+"""Shared fixtures: a tiny dataset bundle reused across model tests."""
+
+import pytest
+
+from repro.data import build_bundle
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """A small but complete dataset bundle (all 22 circuits, scaled down)."""
+    return build_bundle(seed=0, scale=0.1)

@@ -1,0 +1,95 @@
+"""Property-based tests for Algorithm 2 and the small-signal device models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.ensemble import combine_predictions
+from repro.sim.devices import mos_small_signal
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_nets=st.integers(1, 20),
+    n_models=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_property_combined_is_a_member_prediction(n_nets, n_models, seed):
+    """Algorithm 2's output for every net equals some member's prediction."""
+    rng = np.random.default_rng(seed)
+    max_vs = sorted(rng.uniform(1e-16, 1e-13, size=n_models))
+    predictions = [
+        np.abs(rng.lognormal(-35, 2, size=n_nets)) for _ in range(n_models)
+    ]
+    combined = combine_predictions(predictions, max_vs)
+    stacked = np.vstack(predictions)
+    for k in range(n_nets):
+        assert combined[k] in stacked[:, k]
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_nets=st.integers(1, 10), seed=st.integers(0, 10_000))
+def test_property_agreeing_members_pass_through(n_nets, seed):
+    """If every member predicts the same values, the ensemble returns them."""
+    rng = np.random.default_rng(seed)
+    values = np.abs(rng.lognormal(-34, 1.5, size=n_nets))
+    combined = combine_predictions([values, values, values], [1e-15, 1e-14, 1e-13])
+    np.testing.assert_array_equal(combined, values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_highest_model_wins_when_all_predict_large(seed):
+    """When every model predicts above every ceiling, the last model wins."""
+    rng = np.random.default_rng(seed)
+    big = 1e-12 * (1 + rng.random(5))
+    predictions = [big * 0.9, big * 1.1, big]
+    combined = combine_predictions(predictions, [1e-15, 1e-14, 1e-13])
+    np.testing.assert_array_equal(combined, predictions[-1])
+
+
+def _mos(params) -> Circuit:
+    c = Circuit("m")
+    c.add_instance(
+        "m1", dev.TRANSISTOR,
+        {"drain": "d", "gate": "g", "source": "s", "bulk": "vss"},
+        {"TYPE": dev.NMOS, "L": 16e-9, "NF": 1, "NFIN": 2, "MULTI": 1, **params},
+    )
+    return c
+
+
+class TestMosSmallSignal:
+    def test_gm_scales_with_fins(self):
+        small = mos_small_signal(_mos({"NFIN": 2}).instance("m1"))
+        big = mos_small_signal(_mos({"NFIN": 8}).instance("m1"))
+        assert big.gm == pytest.approx(4 * small.gm)
+
+    def test_gm_shrinks_with_length(self):
+        short = mos_small_signal(_mos({"L": 16e-9}).instance("m1"))
+        long = mos_small_signal(_mos({"L": 64e-9}).instance("m1"))
+        assert long.gm == pytest.approx(short.gm / 4)
+
+    def test_thickgate_slower(self):
+        c = Circuit("t")
+        c.add_instance(
+            "m1", dev.TRANSISTOR_THICKGATE,
+            {"drain": "d", "gate": "g", "source": "s", "bulk": "vss"},
+            {"TYPE": dev.NMOS, "L": 16e-9, "NF": 1, "NFIN": 2, "MULTI": 1},
+        )
+        thick = mos_small_signal(c.instance("m1"))
+        thin = mos_small_signal(_mos({}).instance("m1"))
+        assert thick.gm < thin.gm
+
+    def test_junction_caps_follow_areas(self):
+        inst = _mos({}).instance("m1")
+        small = mos_small_signal(inst, drain_area=1e-15, source_area=1e-15)
+        big = mos_small_signal(inst, drain_area=4e-15, source_area=4e-15)
+        assert big.cdb == pytest.approx(4 * small.cdb)
+        assert big.csb == pytest.approx(4 * small.csb)
+
+    def test_gds_positive_fraction_of_gm(self):
+        model = mos_small_signal(_mos({}).instance("m1"))
+        assert 0 < model.gds < model.gm

@@ -1,0 +1,154 @@
+"""Tests for ensemble modeling (paper §IV, Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CircuitRecord
+from repro.ensemble import (
+    CapacitanceEnsemble,
+    RangeModel,
+    combine_predictions,
+    train_capacitance_ensemble,
+)
+from repro.errors import ModelError
+from repro.models import TrainConfig
+
+
+class TestCombine:
+    """Algorithm 2 on synthetic predictions."""
+
+    def test_low_model_kept_when_high_predicts_small(self):
+        combined = combine_predictions(
+            [np.array([0.5e-15]), np.array([0.8e-15])], [1e-15, 10e-15]
+        )
+        np.testing.assert_allclose(combined, [0.5e-15])
+
+    def test_high_model_wins_above_lower_ceiling(self):
+        """Paper's example: the 10fF model predicting 2.5fF (> 1fF ceiling)
+        is preferred over the 1fF model."""
+        combined = combine_predictions(
+            [np.array([0.9e-15]), np.array([2.5e-15])], [1e-15, 10e-15]
+        )
+        np.testing.assert_allclose(combined, [2.5e-15])
+
+    def test_cascade_through_three_models(self):
+        predictions = [
+            np.array([0.5e-15, 0.9e-15, 0.7e-15]),
+            np.array([0.8e-15, 5e-15, 3e-15]),
+            np.array([9e-15, 8e-15, 50e-15]),
+        ]
+        combined = combine_predictions(predictions, [1e-15, 10e-15, 100e-15])
+        # col0: model2 predicts 0.8 < 1fF, model3 predicts 9 < 10fF -> 0.5
+        # col1: model2 5fF > 1fF -> 5; model3 8 < 10fF stays
+        # col2: model3 predicts 50 > 10fF -> 50
+        np.testing.assert_allclose(combined, [0.5e-15, 5e-15, 50e-15])
+
+    def test_validation_errors(self):
+        with pytest.raises(ModelError):
+            combine_predictions([], [])
+        with pytest.raises(ModelError):
+            combine_predictions([np.ones(2)], [1.0, 2.0])
+        with pytest.raises(ModelError):
+            combine_predictions([np.ones(2), np.ones(2)], [2.0, 1.0])
+
+
+class _FakePredictor:
+    """Returns fixed predictions for any record."""
+
+    def __init__(self, values):
+        self.values = np.asarray(values, dtype=np.float64)
+
+    def predict(self, record):
+        return np.arange(len(self.values)), self.values
+
+
+class _FakeRecord:
+    pass
+
+
+class TestEnsembleObject:
+    def test_unordered_models_rejected(self):
+        with pytest.raises(ModelError):
+            CapacitanceEnsemble(
+                models=[
+                    RangeModel(10e-15, _FakePredictor([1.0])),
+                    RangeModel(1e-15, _FakePredictor([1.0])),
+                ]
+            )
+
+    def test_empty_ensemble_rejected(self):
+        ens = CapacitanceEnsemble(models=[])
+        with pytest.raises(ModelError):
+            ens.predict(_FakeRecord())
+
+    def test_mismatched_ids_rejected(self):
+        class _Short:
+            def predict(self, record):
+                return np.arange(2), np.ones(2)
+
+        ens = CapacitanceEnsemble(
+            models=[
+                RangeModel(1e-15, _FakePredictor([1.0, 1.0, 1.0])),
+                RangeModel(float("inf"), _Short()),
+            ]
+        )
+        with pytest.raises(ModelError):
+            ens.predict(_FakeRecord())
+
+    def test_predict_combines(self):
+        ens = CapacitanceEnsemble(
+            models=[
+                RangeModel(1e-15, _FakePredictor([0.5e-15, 0.9e-15])),
+                RangeModel(float("inf"), _FakePredictor([0.7e-15, 6e-15])),
+            ]
+        )
+        _, combined = ens.predict(_FakeRecord())
+        np.testing.assert_allclose(combined, [0.5e-15, 6e-15])
+
+
+class TestTrainedEnsemble:
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_bundle):
+        return train_capacitance_ensemble(
+            tiny_bundle,
+            max_vs=(1e-15, 10e-15),
+            config=TrainConfig(epochs=25, embed_dim=8, num_layers=2, run_seed=0),
+        )
+
+    def test_member_count_and_order(self, trained):
+        assert len(trained.models) == 3  # 2 range + full
+        ceilings = [m.max_v for m in trained.models]
+        assert ceilings == sorted(ceilings)
+        assert ceilings[-1] == float("inf")
+
+    def test_predict_named_covers_nets(self, trained, tiny_bundle):
+        record = tiny_bundle.records("test")[0]
+        named = trained.predict_named(record)
+        assert set(named) == {n.name for n in record.circuit.signal_nets()}
+
+    def test_ensemble_not_worse_than_full_range_on_small_caps(
+        self, trained, tiny_bundle
+    ):
+        """§IV's claim, restricted to the small-cap population."""
+        from repro.data.targets import CAP_TARGET
+
+        records = tiny_bundle.records("test")
+        truth, combined = trained.collect(records)
+        full = trained.models[-1].predictor
+        truths, fulls = [], []
+        for record in records:
+            _, t = record.target_arrays(CAP_TARGET)
+            _, p = full.predict(record)
+            truths.append(t)
+            fulls.append(p)
+        truth_full = np.concatenate(truths)
+        pred_full = np.concatenate(fulls)
+        small = truth < 1e-15
+        if small.sum() >= 5:
+            err_ens = np.abs(combined[small] - truth[small]).mean()
+            err_full = np.abs(pred_full[small] - truth_full[small]).mean()
+            assert err_ens <= err_full * 1.5
+
+    def test_evaluate_keys(self, trained, tiny_bundle):
+        metrics = trained.evaluate(tiny_bundle.records("test"))
+        assert set(metrics) == {"r2", "mae", "mape"}

@@ -1,0 +1,185 @@
+"""Tests for schematic-to-graph conversion (paper §II-B semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import chip, primitives
+from repro.circuits.generators.analog import two_stage_opamp
+from repro.circuits.netlist import Circuit
+from repro.errors import GraphConstructionError
+from repro.graph import (
+    all_edge_type_names,
+    build_graph,
+    edge_type_name,
+    feature_dim,
+    merge_graphs,
+    reverse_edge_type,
+)
+
+
+@pytest.fixture
+def inverter_graph():
+    return build_graph(primitives.inverter(nfin_n=2, nfin_p=4))
+
+
+class TestInverterGraph:
+    """Figure 3: the inverter heterogeneous graph."""
+
+    def test_node_counts(self, inverter_graph):
+        g = inverter_graph
+        # 2 signal nets (a, y) + 2 transistors; vdd/vss dropped
+        assert g.num_nodes == 4
+        assert len(g.nodes_of_type[dev.NET]) == 2
+        assert len(g.nodes_of_type[dev.TRANSISTOR]) == 2
+
+    def test_supply_nets_excluded(self, inverter_graph):
+        assert "vdd" not in inverter_graph.net_nodes
+        assert "vss" not in inverter_graph.net_nodes
+
+    def test_opposing_edges(self, inverter_graph):
+        """Every edge type has a reversed twin with identical cardinality."""
+        g = inverter_graph
+        for edge_type, (src, dst) in g.edges.items():
+            twin = reverse_edge_type(edge_type)
+            assert twin in g.edges
+            tsrc, tdst = g.edges[twin]
+            assert len(tsrc) == len(src)
+            # the twin contains each reversed pair
+            pairs = set(zip(src.tolist(), dst.tolist()))
+            twin_pairs = set(zip(tdst.tolist(), tsrc.tolist()))
+            assert pairs == twin_pairs
+
+    def test_terminal_edge_types(self, inverter_graph):
+        g = inverter_graph
+        gate_type = edge_type_name(dev.NET, "transistor_gate")
+        drain_type = edge_type_name(dev.NET, "transistor_drain")
+        assert len(g.edges[gate_type][0]) == 2  # both gates on net a
+        assert len(g.edges[drain_type][0]) == 2  # both drains on net y
+        # sources and bulks connect only to rails -> no such edges
+        assert edge_type_name(dev.NET, "transistor_source") not in g.edges
+
+    def test_edge_count_excludes_rail_terminals(self, inverter_graph):
+        # 2 devices x 2 signal terminals (gate, drain) x 2 directions
+        assert inverter_graph.num_edges == 8
+
+    def test_net_features_are_fanout(self, inverter_graph):
+        g = inverter_graph
+        net_feats = g.features[dev.NET]
+        assert net_feats.shape == (2, 1)
+        np.testing.assert_allclose(net_feats.ravel(), [2.0, 2.0])
+
+    def test_device_features_table2(self, inverter_graph):
+        feats = inverter_graph.features[dev.TRANSISTOR]
+        assert feats.shape == (2, 4)  # L, NF, NFIN, MULTI
+        nfins = sorted(feats[:, 2])
+        assert nfins == [2.0, 4.0]
+
+
+class TestBuilderEdgeCases:
+    def test_no_signal_nets_raises(self):
+        c = Circuit("rails_only")
+        c.add_instance("r1", dev.RESISTOR, {"p": "vdd", "n": "vss"})
+        with pytest.raises(GraphConstructionError):
+            build_graph(c)
+
+    def test_multi_terminal_net_hyperedge(self):
+        """A net with many connections becomes one node with many edges."""
+        g = build_graph(two_stage_opamp())
+        out_id = g.net_nodes["out"]
+        incoming = sum(
+            int((dst == out_id).sum()) for et, (src, dst) in g.edges.items()
+            if et.endswith("->net")
+        )
+        assert incoming >= 3  # mout_p drain, mout_n drain, cc plate
+
+    def test_all_device_types_map_to_nodes(self):
+        train, _ = chip.build_dataset(seed=0, scale=0.3)
+        g = build_graph(train["t17"])  # thick + bjt + res + cap circuit
+        present = set(g.nodes_of_type)
+        assert dev.TRANSISTOR_THICKGATE in present
+        assert dev.BJT in present
+        assert dev.RESISTOR in present
+
+    def test_feature_dims_per_type(self):
+        assert feature_dim(dev.NET) == 1
+        assert feature_dim(dev.TRANSISTOR) == 4
+        assert feature_dim(dev.CAPACITOR) == 1
+        assert feature_dim(dev.BJT) == 1
+
+    def test_all_edge_type_names_cover_builder_output(self):
+        train, _ = chip.build_dataset(seed=0, scale=0.3)
+        known = set(all_edge_type_names())
+        for circuit in train.values():
+            g = build_graph(circuit)
+            assert set(g.edges) <= known
+
+    def test_validate_catches_ragged_edges(self, ):
+        g = build_graph(primitives.inverter())
+        et = next(iter(g.edges))
+        src, dst = g.edges[et]
+        g.edges[et] = (src, dst[:-1])
+        with pytest.raises(GraphConstructionError):
+            g.validate()
+
+    def test_reverse_edge_type_malformed(self):
+        with pytest.raises(GraphConstructionError):
+            reverse_edge_type("not_an_edge_type")
+
+
+class TestMerge:
+    def test_merge_offsets_and_names(self):
+        g1 = build_graph(primitives.inverter(name="inv1"))
+        g2 = build_graph(primitives.nand2(name="nand"))
+        merged = merge_graphs([g1, g2])
+        assert merged.num_nodes == g1.num_nodes + g2.num_nodes
+        assert merged.num_edges == g1.num_edges + g2.num_edges
+        assert "inv1/a" in merged.net_nodes
+        assert "nand/mid" in merged.net_nodes
+        merged.validate()
+
+    def test_merge_feature_alignment(self):
+        """Merged feature rows stay aligned with merged node ids."""
+        g1 = build_graph(primitives.inverter(nfin_n=2, nfin_p=4, name="i1"))
+        g2 = build_graph(primitives.inverter(nfin_n=8, nfin_p=16, name="i2"))
+        merged = merge_graphs([g1, g2])
+        ids = merged.nodes_of_type[dev.TRANSISTOR]
+        feats = merged.features[dev.TRANSISTOR]
+        for row, node_id in enumerate(ids):
+            name = merged.node_name_of[node_id]
+            expected = 16.0 if name == "i2/mp" else None
+            if expected:
+                assert feats[row, 2] == expected
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(GraphConstructionError):
+            merge_graphs([])
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_built_graphs_validate(seed):
+    """Graphs built from any composed chip pass structural validation."""
+    composed = chip.compose_chip(chip.TRAIN_RECIPES[4], seed=seed, scale=0.3)
+    g = build_graph(composed.circuit)
+    g.validate()
+    # every device instance became a node
+    assert len(g.device_nodes) == composed.circuit.num_instances
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_edge_counts_match_terminal_counts(seed):
+    """Total edges == 2 x (number of device terminals on signal nets)."""
+    composed = chip.compose_chip(chip.TRAIN_RECIPES[1], seed=seed, scale=0.3)
+    circuit = composed.circuit
+    g = build_graph(circuit)
+    terminals = sum(
+        1
+        for inst in circuit.instances()
+        for net in inst.conns.values()
+        if net in g.net_nodes
+    )
+    assert g.num_edges == 2 * terminals

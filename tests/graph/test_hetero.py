@@ -1,0 +1,99 @@
+"""Tests for HeteroGraph internals: degree, validation failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import primitives
+from repro.errors import GraphConstructionError, SpiceSyntaxError
+from repro.graph import build_graph
+from repro.graph.hetero import HeteroGraph, edge_type_name, reverse_edge_type
+
+
+@pytest.fixture
+def inverter_graph():
+    return build_graph(primitives.inverter())
+
+
+class TestDegree:
+    def test_net_degree(self, inverter_graph):
+        g = inverter_graph
+        net_a = g.net_nodes["a"]
+        assert g.degree(net_a) == 2  # two gate->net edges
+
+    def test_isolated_degree_zero(self):
+        g = HeteroGraph(name="empty")
+        g.node_type_of = ["net"]
+        g.node_name_of = ["x"]
+        g.nodes_of_type = {"net": np.array([0])}
+        g.features = {"net": np.zeros((1, 1))}
+        assert g.degree(0) == 0
+
+
+class TestProperties:
+    def test_node_and_edge_types_sorted(self, inverter_graph):
+        g = inverter_graph
+        assert g.node_types == sorted(g.node_types)
+        assert g.edge_types == sorted(g.edge_types)
+
+    def test_feature_matrix_missing_raises(self, inverter_graph):
+        with pytest.raises(GraphConstructionError):
+            inverter_graph.feature_matrix("bjt")
+
+
+class TestValidate:
+    def test_missing_features_detected(self, inverter_graph):
+        del inverter_graph.features["net"]
+        with pytest.raises(GraphConstructionError):
+            inverter_graph.validate()
+
+    def test_feature_row_mismatch_detected(self, inverter_graph):
+        inverter_graph.features["net"] = inverter_graph.features["net"][:-1]
+        with pytest.raises(GraphConstructionError):
+            inverter_graph.validate()
+
+    def test_node_in_two_types_detected(self, inverter_graph):
+        g = inverter_graph
+        g.nodes_of_type["transistor"] = g.nodes_of_type["net"].copy()
+        g.features["transistor"] = g.features["net"].copy()
+        with pytest.raises(GraphConstructionError):
+            g.validate()
+
+    def test_edge_out_of_range_detected(self, inverter_graph):
+        g = inverter_graph
+        et = g.edge_types[0]
+        src, dst = g.edges[et]
+        g.edges[et] = (src, dst + 1000)
+        with pytest.raises(GraphConstructionError):
+            g.validate()
+
+    def test_missing_twin_detected(self, inverter_graph):
+        g = inverter_graph
+        et = g.edge_types[0]
+        del g.edges[reverse_edge_type(et)]
+        with pytest.raises(GraphConstructionError):
+            g.validate()
+
+    def test_name_type_length_mismatch(self, inverter_graph):
+        inverter_graph.node_name_of.append("extra")
+        with pytest.raises(GraphConstructionError):
+            inverter_graph.validate()
+
+
+class TestEdgeTypeNames:
+    def test_roundtrip(self):
+        et = edge_type_name("net", "transistor_gate")
+        assert et == "net->transistor_gate"
+        assert reverse_edge_type(et) == "transistor_gate->net"
+        assert reverse_edge_type(reverse_edge_type(et)) == et
+
+
+class TestErrors:
+    def test_spice_error_line_prefix(self):
+        err = SpiceSyntaxError("bad card", line_no=7)
+        assert "line 7" in str(err)
+        assert err.line_no == 7
+
+    def test_spice_error_without_line(self):
+        err = SpiceSyntaxError("bad card")
+        assert err.line_no is None
+        assert str(err) == "bad card"

@@ -1,0 +1,78 @@
+"""Tests for graph statistics and CSV figure export."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import primitives
+from repro.errors import ReproError
+from repro.graph import build_graph
+from repro.graph.stats import dataset_stats, graph_stats
+from repro.analysis.export import export_embedding, export_scatter, read_scatter
+
+
+class TestGraphStats:
+    def test_inverter_stats(self):
+        stats = graph_stats(build_graph(primitives.inverter()))
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 8
+        assert stats.nodes_per_type["net"] == 2
+        assert stats.mean_net_degree == 2.0
+        assert stats.max_net_degree == 2
+
+    def test_render(self):
+        stats = graph_stats(build_graph(primitives.nand2()))
+        text = stats.render()
+        assert "nand2" in text
+        assert "net degree" in text
+
+    def test_dataset_stats_aggregates(self):
+        graphs = [
+            build_graph(primitives.inverter(name="i1")),
+            build_graph(primitives.nand2(name="n1")),
+        ]
+        agg = dataset_stats(graphs)
+        assert agg["graphs"] == 2
+        assert agg["nodes"] == sum(g.num_nodes for g in graphs)
+
+    def test_dataset_stats_empty(self):
+        assert dataset_stats([])["graphs"] == 0
+
+
+class TestExport:
+    def test_scatter_roundtrip(self, tmp_path):
+        truth = np.array([1e-15, 2e-15, 5e-14])
+        pred = np.array([1.2e-15, 1.8e-15, 6e-14])
+        path = tmp_path / "scatter.csv"
+        export_scatter(path, truth, pred, label="cap")
+        t, p = read_scatter(path)
+        np.testing.assert_allclose(t, truth)
+        np.testing.assert_allclose(p, pred)
+
+    def test_scatter_mismatch_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_scatter(tmp_path / "x.csv", np.ones(2), np.ones(3))
+
+    def test_scatter_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        export_scatter(path, np.empty(0), np.empty(0))
+        t, p = read_scatter(path)
+        assert len(t) == 0 and len(p) == 0
+
+    def test_embedding_export(self, tmp_path):
+        coords = np.random.default_rng(0).standard_normal((5, 2))
+        labels = np.arange(5.0)
+        path = tmp_path / "emb.csv"
+        export_embedding(path, coords, labels, names=list("abcde"))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "x,y,label,name"
+        assert len(lines) == 6
+
+    def test_embedding_validation(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_embedding(tmp_path / "x.csv", np.ones((3, 3)), np.ones(3))
+        with pytest.raises(ReproError):
+            export_embedding(tmp_path / "x.csv", np.ones((3, 2)), np.ones(2))
+        with pytest.raises(ReproError):
+            export_embedding(
+                tmp_path / "x.csv", np.ones((3, 2)), np.ones(3), names=["a"]
+            )

@@ -1,0 +1,55 @@
+"""Tests for process-corner technology variants."""
+
+import pytest
+
+from repro.circuits.generators.analog import ota_5t
+from repro.layout import synthesize_layout
+from repro.layout.tech import DEFAULT_TECH, corner
+
+
+class TestCorner:
+    def test_typ_is_identity(self):
+        typ = corner("typ")
+        assert typ.cap_per_length == DEFAULT_TECH.cap_per_length
+        assert typ.res_per_length == DEFAULT_TECH.res_per_length
+
+    def test_cmax_scales_up(self):
+        cmax = corner("cmax")
+        assert cmax.cap_per_length == pytest.approx(
+            DEFAULT_TECH.cap_per_length * 1.15
+        )
+        assert cmax.res_per_length == pytest.approx(
+            DEFAULT_TECH.res_per_length * 1.20
+        )
+
+    def test_cmin_scales_down(self):
+        cmin = corner("cmin")
+        assert cmin.gate_cap_per_fin < DEFAULT_TECH.gate_cap_per_fin
+        assert cmin.via_resistance < DEFAULT_TECH.via_resistance
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(ValueError):
+            corner("ffg")
+
+    def test_geometry_untouched(self):
+        cmax = corner("cmax")
+        assert cmax.fin_pitch == DEFAULT_TECH.fin_pitch
+        assert cmax.poly_pitch == DEFAULT_TECH.poly_pitch
+
+    def test_corner_ground_truth_shifts_caps(self):
+        circuit = ota_5t()
+        typ = synthesize_layout(circuit, seed=3, tech=corner("typ"))
+        cmax = synthesize_layout(circuit, seed=3, tech=corner("cmax"))
+        ratios = [
+            cmax.cap_of(net) / typ.cap_of(net) for net in typ.net_caps
+        ]
+        # every net's cap grows, bounded by the corner skew
+        assert all(1.0 < r < 1.25 for r in ratios)
+
+    def test_corner_preserves_geometry_targets(self):
+        """SA/DA are geometric, not parasitic: corners leave them alone."""
+        circuit = ota_5t()
+        typ = synthesize_layout(circuit, seed=3, tech=corner("typ"))
+        cmax = synthesize_layout(circuit, seed=3, tech=corner("cmax"))
+        for name in typ.device_params:
+            assert cmax.device_params[name].sa == typ.device_params[name].sa

@@ -1,0 +1,127 @@
+"""Tests for coupling-capacitance extraction and coupled simulation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import analog, digital
+from repro.circuits.netlist import Circuit
+from repro.layout import DEFAULT_TECH, find_diffusion_chains, place_circuit
+from repro.layout.coupling import (
+    CouplingResult,
+    extract_coupling,
+    ground_cap_after_coupling,
+)
+from repro.layout.routing import all_net_lengths
+from repro.sim import Annotations, ac_analysis, build_mna
+
+
+def _extract(circuit, seed=0):
+    chains = find_diffusion_chains(circuit)
+    placement = place_circuit(circuit, chains, DEFAULT_TECH, np.random.default_rng(seed))
+    lengths = all_net_lengths(circuit, placement)
+    coupling = extract_coupling(circuit, placement, lengths, DEFAULT_TECH)
+    return coupling, lengths
+
+
+class TestExtraction:
+    def test_pairs_symmetric_keys(self):
+        coupling, _ = _extract(analog.two_stage_opamp())
+        for net_a, net_b in coupling.pairs:
+            assert net_a <= net_b
+
+    def test_coupling_positive(self):
+        coupling, _ = _extract(analog.two_stage_opamp())
+        assert coupling.pairs, "expected some coupling pairs"
+        assert all(v > 0 for v in coupling.pairs.values())
+
+    def test_coupling_of_lookup_symmetric(self):
+        coupling, _ = _extract(analog.two_stage_opamp())
+        (a, b), value = next(iter(coupling.pairs.items()))
+        assert coupling.coupling_of(a, b) == value
+        assert coupling.coupling_of(b, a) == value
+        assert coupling.coupling_of(a, "nonexistent") == 0.0
+
+    def test_budget_bounded_by_fraction(self):
+        """A net's total coupling stays within its full wire-cap budget
+        (each endpoint contributes half of fraction x wire cap, so the sum
+        can at most reach ~fraction x wire cap from both sides)."""
+        circuit = digital.inverter_chain(stages=12)
+        coupling, lengths = _extract(circuit)
+        for net in lengths:
+            wire_cap = lengths[net] * DEFAULT_TECH.cap_per_length
+            assert coupling.total_coupling(net) <= wire_cap + 1e-21
+
+    def test_neighbours_sorted(self):
+        coupling, _ = _extract(digital.inverter_chain(stages=10))
+        net = max(coupling.pairs, key=lambda k: coupling.pairs[k])[0]
+        neighbours = coupling.neighbours(net)
+        values = [v for _, v in neighbours]
+        assert values == sorted(values, reverse=True)
+
+    def test_single_net_circuit_no_coupling(self):
+        c = Circuit("single")
+        c.add_instance("r1", dev.RESISTOR, {"p": "a", "n": "vss"})
+        chains = find_diffusion_chains(c)
+        placement = place_circuit(c, chains, DEFAULT_TECH, np.random.default_rng(0))
+        coupling = extract_coupling(c, placement, {"a": 1e-6}, DEFAULT_TECH)
+        assert coupling.pairs == {}
+
+    def test_ground_remainder_conserves_budget(self):
+        circuit = analog.two_stage_opamp()
+        coupling, lengths = _extract(circuit)
+        net_caps = {n: 5e-15 for n in lengths}
+        grounded = ground_cap_after_coupling(net_caps, coupling)
+        for net in net_caps:
+            assert grounded[net] >= 0
+            total = grounded[net] + coupling.total_coupling(net)
+            assert total == pytest.approx(
+                max(net_caps[net], coupling.total_coupling(net)), rel=1e-9
+            )
+
+
+class TestCoupledSimulation:
+    def _rc(self):
+        c = Circuit("pair")
+        c.add_instance("r1", dev.RESISTOR, {"p": "in", "n": "victim"}, {"R": 10e3, "L": 1e-6})
+        c.add_instance("r2", dev.RESISTOR, {"p": "victim", "n": "vss"}, {"R": 100e3, "L": 1e-6})
+        # low aggressor impedance so coupled caps bite hard at high freq
+        c.add_instance("r3", dev.RESISTOR, {"p": "agg", "n": "vss"}, {"R": 1e3, "L": 1e-6})
+        return c
+
+    def test_coupling_stamped(self):
+        circuit = self._rc()
+        plain = build_mna(circuit, "in")
+        coupled = build_mna(
+            circuit, "in",
+            Annotations(coupling={("agg", "victim"): 20e-15}),
+        )
+        v = coupled.node("victim")
+        a = coupled.node("agg")
+        assert coupled.C[v, a] == pytest.approx(-20e-15)
+        assert coupled.C[v, v] == pytest.approx(plain.C[v, v] + 20e-15)
+
+    def test_coupling_affects_bandwidth(self):
+        circuit = self._rc()
+        plain = build_mna(circuit, "in")
+        coupled = build_mna(
+            circuit, "in",
+            Annotations(coupling={("agg", "victim"): 200e-15}),
+        )
+        bw_plain = ac_analysis(plain, "victim").bandwidth_3db()
+        bw_coupled = ac_analysis(coupled, "victim").bandwidth_3db()
+        assert bw_coupled < bw_plain
+
+    def test_coupled_differs_from_equivalent_grounded(self):
+        """Coupling to a floating aggressor shields differently than the
+        same cap to ground (the aggressor node moves with the victim)."""
+        circuit = self._rc()
+        coupled = build_mna(
+            circuit, "in", Annotations(coupling={("agg", "victim"): 100e-15})
+        )
+        grounded = build_mna(
+            circuit, "in", Annotations(net_caps={"victim": 100e-15})
+        )
+        bw_c = ac_analysis(coupled, "victim").bandwidth_3db()
+        bw_g = ac_analysis(grounded, "victim").bandwidth_3db()
+        assert bw_c != pytest.approx(bw_g, rel=1e-3)

@@ -1,0 +1,132 @@
+"""Tests for diffusion geometry (SA/DA/SP/DP) and LDE computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.layout.geometry import device_geometry, device_footprint, finger_regions
+from repro.layout.mts import ChainLink
+from repro.layout.tech import DEFAULT_TECH
+
+
+def _mos(nf=1, nfin=2, multi=1) -> Circuit:
+    c = Circuit("one")
+    c.add_instance(
+        "m1", dev.TRANSISTOR,
+        {"drain": "d", "gate": "g", "source": "s", "bulk": "vss"},
+        {"TYPE": dev.NMOS, "NF": nf, "NFIN": nfin, "MULTI": multi, "L": 16e-9},
+    )
+    return c.instance("m1")
+
+
+class TestFingerRegions:
+    def test_single_finger(self):
+        assert finger_regions(1) == ["source", "drain"]
+
+    def test_two_fingers_symmetric(self):
+        assert finger_regions(2) == ["source", "drain", "source"]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            finger_regions(0)
+
+
+class TestDeviceGeometry:
+    def test_unshared_single_finger(self):
+        tech = DEFAULT_TECH
+        geo = device_geometry(ChainLink(_mos(nf=1, nfin=2)), tech)
+        width = 2 * tech.fin_pitch
+        assert geo.source_area == pytest.approx(tech.diff_end * width)
+        assert geo.drain_area == pytest.approx(tech.diff_end * width)
+        assert geo.source_perimeter == pytest.approx(2 * tech.diff_end + width)
+
+    def test_shared_drain_halves_area(self):
+        """Paper Figure 2: shared diffusion halves the boundary region."""
+        tech = DEFAULT_TECH
+        shared = device_geometry(ChainLink(_mos(), right_shared=True), tech)
+        isolated = device_geometry(ChainLink(_mos()), tech)
+        # NF=1: right region is the drain
+        assert shared.drain_area == pytest.approx(
+            isolated.drain_area * (tech.diff_inner / 2) / tech.diff_end
+        )
+        assert shared.source_area == pytest.approx(isolated.source_area)
+
+    def test_figure2_sa_twice_da(self):
+        """Device A in Figure 2: SA ~ 2x DA when drain is shared.
+
+        With diff_inner/2 = 27nm and diff_end = 90nm the ratio is ~3.3; the
+        qualitative relation SA > DA must hold for any tech numbers.
+        """
+        geo = device_geometry(ChainLink(_mos(), right_shared=True), DEFAULT_TECH)
+        assert geo.source_area > 2 * geo.drain_area
+
+    def test_multi_finger_internal_regions(self):
+        tech = DEFAULT_TECH
+        geo = device_geometry(ChainLink(_mos(nf=2, nfin=2)), tech)
+        width = 2 * tech.fin_pitch
+        # regions: S(end) D(inner) S(end)
+        assert geo.source_area == pytest.approx(2 * tech.diff_end * width)
+        assert geo.drain_area == pytest.approx(tech.diff_inner * width)
+
+    def test_multi_scales_areas(self):
+        single = device_geometry(ChainLink(_mos(multi=1)), DEFAULT_TECH)
+        triple = device_geometry(ChainLink(_mos(multi=3)), DEFAULT_TECH)
+        assert triple.source_area == pytest.approx(3 * single.source_area)
+        assert triple.drain_perimeter == pytest.approx(3 * single.drain_perimeter)
+
+    def test_lod_grows_with_fingers(self):
+        geo1 = device_geometry(ChainLink(_mos(nf=1)), DEFAULT_TECH)
+        geo4 = device_geometry(ChainLink(_mos(nf=4)), DEFAULT_TECH)
+        assert geo4.left_lod > geo1.left_lod
+
+    def test_shared_side_shrinks_lod(self):
+        shared = device_geometry(ChainLink(_mos(), left_shared=True), DEFAULT_TECH)
+        free = device_geometry(ChainLink(_mos()), DEFAULT_TECH)
+        assert shared.left_lod < free.left_lod
+        assert shared.right_lod == pytest.approx(free.right_lod)
+
+    def test_width_from_nfin(self):
+        geo = device_geometry(ChainLink(_mos(nfin=6)), DEFAULT_TECH)
+        assert geo.width == pytest.approx(6 * DEFAULT_TECH.fin_pitch)
+
+
+class TestFootprint:
+    def test_footprint_scales_with_nf_and_multi(self):
+        x1, _ = device_footprint(_mos(nf=1, multi=1), DEFAULT_TECH)
+        x2, _ = device_footprint(_mos(nf=2, multi=1), DEFAULT_TECH)
+        x3, _ = device_footprint(_mos(nf=1, multi=2), DEFAULT_TECH)
+        assert x2 > x1
+        assert x3 == pytest.approx(2 * x1)
+
+    def test_height_floor_is_cell_height(self):
+        _, y = device_footprint(_mos(nfin=1), DEFAULT_TECH)
+        assert y == DEFAULT_TECH.cell_height
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nf=st.integers(1, 8),
+    nfin=st.integers(1, 16),
+    multi=st.integers(1, 4),
+    left=st.booleans(),
+    right=st.booleans(),
+)
+def test_property_geometry_invariants(nf, nfin, multi, left, right):
+    """Areas/perimeters are positive; source+drain regions tile the diffusion."""
+    tech = DEFAULT_TECH
+    link = ChainLink(_mos(nf=nf, nfin=nfin, multi=multi), left_shared=left, right_shared=right)
+    geo = device_geometry(link, tech)
+    assert geo.source_area > 0 and geo.drain_area > 0
+    assert geo.source_perimeter > 0 and geo.drain_perimeter > 0
+    # total diffusion area equals sum of region lengths x width x multi
+    width = nfin * tech.fin_pitch
+    n_inner = nf - 1
+    left_len = tech.diff_inner / 2 if left else tech.diff_end
+    right_len = tech.diff_inner / 2 if right else tech.diff_end
+    total = (left_len + right_len + n_inner * tech.diff_inner) * width * multi
+    np.testing.assert_allclose(geo.source_area + geo.drain_area, total)
+    # sharing never increases LOD
+    assert geo.left_lod <= tech.diff_end + (nf - 1) * tech.poly_pitch / 2 + 1e-12

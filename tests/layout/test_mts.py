@@ -1,0 +1,121 @@
+"""Tests for diffusion-sharing (MTS) chain analysis."""
+
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import primitives
+from repro.circuits.generators.chip import build_dataset
+from repro.circuits.netlist import Circuit
+from repro.layout.mts import MAX_CHAIN_LENGTH, find_diffusion_chains, sharing_summary
+
+
+def _series_stack(n: int, nfin: int = 4) -> Circuit:
+    """n NMOS in series (a classical MTS group)."""
+    c = Circuit("stack")
+    for i in range(n):
+        top = "out" if i == 0 else f"m{i}"
+        bottom = "vss" if i == n - 1 else f"m{i + 1}"
+        c.add_instance(
+            f"mn{i}", dev.TRANSISTOR,
+            {"drain": top, "gate": f"g{i}", "source": bottom, "bulk": "vss"},
+            {"TYPE": dev.NMOS, "NFIN": nfin, "NF": 1, "L": 16e-9, "MULTI": 1},
+        )
+    return c
+
+
+class TestChains:
+    def test_series_stack_single_chain(self):
+        chains = find_diffusion_chains(_series_stack(4))
+        assert len(chains) == 1
+        assert chains[0].length == 4
+
+    def test_chain_boundary_flags(self):
+        chains = find_diffusion_chains(_series_stack(3))
+        links = chains[0].links
+        ends = [links[0], links[-1]]
+        assert sum(link.left_shared for link in links) == 2
+        assert sum(link.right_shared for link in links) == 2
+        # the two chain ends each have exactly one unshared side
+        for end in ends:
+            assert not (end.left_shared and end.right_shared)
+
+    def test_different_nfin_blocks_sharing(self):
+        c = Circuit("mixed")
+        c.add_instance(
+            "m1", dev.TRANSISTOR,
+            {"drain": "x", "gate": "g", "source": "vss", "bulk": "vss"},
+            {"TYPE": dev.NMOS, "NFIN": 4},
+        )
+        c.add_instance(
+            "m2", dev.TRANSISTOR,
+            {"drain": "y", "gate": "g2", "source": "x", "bulk": "vss"},
+            {"TYPE": dev.NMOS, "NFIN": 8},
+        )
+        chains = find_diffusion_chains(c)
+        assert len(chains) == 2
+
+    def test_opposite_polarity_never_shares(self):
+        chains = find_diffusion_chains(primitives.inverter(nfin_n=2, nfin_p=2))
+        # NMOS and PMOS share net y but different polarity and bulk
+        assert all(chain.length == 1 for chain in chains)
+
+    def test_nand_nmos_stack_shares(self):
+        chains = find_diffusion_chains(primitives.nand2(nfin_n=4, nfin_p=4))
+        lengths = sorted(chain.length for chain in chains)
+        # NMOS share the internal mid net (series stack); the parallel PMOS
+        # pair shares its drain diffusion on the output net
+        assert lengths == [2, 2]
+
+    def test_rail_nets_do_not_share(self):
+        c = Circuit("rail")
+        for i in range(2):
+            c.add_instance(
+                f"mn{i}", dev.TRANSISTOR,
+                {"drain": f"d{i}", "gate": f"g{i}", "source": "vss", "bulk": "vss"},
+                {"TYPE": dev.NMOS, "NFIN": 4},
+            )
+        chains = find_diffusion_chains(c)
+        assert all(chain.length == 1 for chain in chains)
+
+    def test_chain_length_cap(self):
+        chains = find_diffusion_chains(_series_stack(MAX_CHAIN_LENGTH + 5))
+        assert max(chain.length for chain in chains) == MAX_CHAIN_LENGTH
+        assert sum(chain.length for chain in chains) == MAX_CHAIN_LENGTH + 5
+
+    def test_custom_cap(self):
+        chains = find_diffusion_chains(_series_stack(8), max_chain_length=4)
+        assert max(chain.length for chain in chains) == 4
+
+    def test_every_mosfet_in_exactly_one_chain(self):
+        train, _ = build_dataset(seed=0, scale=0.3)
+        circuit = train["t4"]
+        chains = find_diffusion_chains(circuit)
+        names = [link.inst.name for chain in chains for link in chain.links]
+        mosfets = [
+            inst.name for inst in circuit.instances() if dev.is_mos(inst.device_type)
+        ]
+        assert sorted(names) == sorted(mosfets)
+
+    def test_deterministic(self):
+        train, _ = build_dataset(seed=0, scale=0.3)
+        a = find_diffusion_chains(train["t5"])
+        b = find_diffusion_chains(train["t5"])
+        assert [[l.inst.name for l in c.links] for c in a] == [
+            [l.inst.name for l in c.links] for c in b
+        ]
+
+    def test_summary_counts(self):
+        chains = find_diffusion_chains(_series_stack(4))
+        summary = sharing_summary(chains)
+        assert summary["devices"] == 4
+        assert summary["chains"] == 1
+        assert summary["shared_boundaries"] == 3
+        assert summary["longest_chain"] == 4
+
+    def test_empty_circuit(self):
+        c = Circuit("empty")
+        c.add_instance("r1", dev.RESISTOR, {"p": "a", "n": "b"})
+        assert find_diffusion_chains(c) == []
+        assert sharing_summary([]) == {
+            "devices": 0, "chains": 0, "shared_boundaries": 0, "longest_chain": 0
+        }

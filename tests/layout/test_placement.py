@@ -1,0 +1,84 @@
+"""Tests for connectivity-driven placement (wirelength realism)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.generators import analog, digital
+from repro.circuits.generators.chip import TRAIN_RECIPES, compose_chip
+from repro.circuits.netlist import Circuit
+from repro.layout import DEFAULT_TECH, find_diffusion_chains, place_circuit
+from repro.layout.placement import _connectivity_order
+from repro.layout.routing import all_net_lengths
+
+
+def _place(circuit, seed=0):
+    chains = find_diffusion_chains(circuit)
+    return place_circuit(circuit, chains, DEFAULT_TECH, np.random.default_rng(seed))
+
+
+class TestConnectivityOrder:
+    def test_covers_all_units_once(self):
+        circuit = analog.two_stage_opamp()
+        chains = find_diffusion_chains(circuit)
+        units = [[link.inst for link in chain.links] for chain in chains]
+        passives = [
+            inst for inst in circuit.instances() if not dev.is_mos(inst.device_type)
+        ]
+        units.extend([inst] for inst in passives)
+        order = _connectivity_order(circuit, units)
+        assert sorted(order) == list(range(len(units)))
+
+    def test_disconnected_components_all_placed(self):
+        c = Circuit("two_islands")
+        c.add_instance("r1", dev.RESISTOR, {"p": "a", "n": "b"})
+        c.add_instance("r2", dev.RESISTOR, {"p": "x", "n": "y"})
+        placement = _place(c)
+        assert set(placement.devices) == {"r1", "r2"}
+
+    def test_local_nets_stay_short_in_large_circuits(self):
+        """The key learnability property: a fanout-2 net in a big chip is
+        about as long as in a small block."""
+        big = compose_chip(TRAIN_RECIPES[3], seed=0, scale=0.3).circuit
+        small = analog.source_follower()
+
+        def median_fanout2_length(circuit):
+            placement = _place(circuit)
+            lengths = all_net_lengths(circuit, placement)
+            values = [
+                lengths[n.name]
+                for n in circuit.signal_nets()
+                if circuit.fanout(n.name) == 2
+            ]
+            return np.median(values)
+
+        ratio = median_fanout2_length(big) / median_fanout2_length(small)
+        assert ratio < 5.0
+
+    def test_high_fanout_nets_span_further(self):
+        circuit = compose_chip(TRAIN_RECIPES[3], seed=0, scale=0.3).circuit
+        placement = _place(circuit)
+        lengths = all_net_lengths(circuit, placement)
+        lows, highs = [], []
+        for net in circuit.signal_nets():
+            fanout = circuit.fanout(net.name)
+            if fanout <= 2:
+                lows.append(lengths[net.name])
+            elif fanout >= 8:
+                highs.append(lengths[net.name])
+        if highs:
+            assert np.median(highs) > np.median(lows)
+
+    def test_rows_never_exceed_width(self):
+        circuit = digital.sram_array(rows=6, cols=6)
+        placement = _place(circuit)
+        for placed in placement.devices.values():
+            assert placed.x <= DEFAULT_TECH.row_width + 1e-12
+
+    def test_jitter_seed_dependence(self):
+        circuit = analog.two_stage_opamp()
+        a = _place(circuit, seed=1)
+        b = _place(circuit, seed=2)
+        xs_a = [a.devices[k].x for k in sorted(a.devices)]
+        xs_b = [b.devices[k].x for k in sorted(b.devices)]
+        assert xs_a != xs_b

@@ -1,0 +1,73 @@
+"""Tests for attention-weight introspection (paper §III interpretability)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import primitives
+from repro.data import FeatureScaler
+from repro.errors import ModelError
+from repro.graph import build_graph
+from repro.models import GraphInputs, TargetPredictor, TrainConfig
+from repro.models.convs import ParaGraphConv
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def nand_inputs():
+    graph = build_graph(primitives.nand2())
+    scaler = FeatureScaler().fit([graph])
+    return GraphInputs.from_graph(graph, scaler), graph
+
+
+class TestAttentionWeights:
+    def test_weights_sum_to_one_per_destination(self, nand_inputs):
+        inputs, _ = nand_inputs
+        conv = ParaGraphConv(8, sorted(inputs.edges), np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).standard_normal((inputs.num_nodes, 8)))
+        weights = conv.attention_weights(h, inputs)
+        for edge_type, alpha in weights.items():
+            _, dst = inputs.edges[edge_type]
+            sums = np.bincount(dst, weights=alpha, minlength=inputs.num_nodes)
+            present = np.bincount(dst, minlength=inputs.num_nodes) > 0
+            np.testing.assert_allclose(sums[present], 1.0, atol=1e-9)
+
+    def test_disabled_attention_raises(self, nand_inputs):
+        inputs, _ = nand_inputs
+        conv = ParaGraphConv(
+            8, sorted(inputs.edges), np.random.default_rng(0), use_attention=False
+        )
+        h = Tensor(np.zeros((inputs.num_nodes, 8)))
+        with pytest.raises(ModelError):
+            conv.attention_weights(h, inputs)
+
+    def test_all_edge_types_covered(self, nand_inputs):
+        inputs, _ = nand_inputs
+        conv = ParaGraphConv(8, sorted(inputs.edges), np.random.default_rng(0))
+        h = Tensor(np.zeros((inputs.num_nodes, 8)))
+        weights = conv.attention_weights(h, inputs)
+        assert set(weights) == set(inputs.edges)
+
+
+class TestAttentionReport:
+    def test_report_rows(self, tiny_bundle):
+        predictor = TargetPredictor(
+            "paragraph", "CAP",
+            TrainConfig(epochs=4, embed_dim=8, num_layers=2),
+        ).fit(tiny_bundle)
+        record = tiny_bundle.records("test")[0]
+        rows = predictor.attention_report(record)
+        assert rows, "expected at least one attention row"
+        # rows sorted by descending alpha, alpha in [0, 1]
+        alphas = [row[3] for row in rows]
+        assert alphas == sorted(alphas, reverse=True)
+        assert all(0.0 <= a <= 1.0 + 1e-9 for a in alphas)
+        edge_type, src, dst, _ = rows[0]
+        assert "->" in edge_type
+        assert isinstance(src, str) and isinstance(dst, str)
+
+    def test_report_requires_attention_conv(self, tiny_bundle):
+        predictor = TargetPredictor(
+            "sage", "CAP", TrainConfig(epochs=3, embed_dim=8, num_layers=2)
+        ).fit(tiny_bundle)
+        with pytest.raises(ModelError):
+            predictor.attention_report(tiny_bundle.records("test")[0])

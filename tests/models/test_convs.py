@@ -1,0 +1,184 @@
+"""Tests for GNN convolution layers: shapes, semantics, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import primitives
+from repro.data import FeatureScaler
+from repro.errors import ModelError
+from repro.graph import build_graph
+from repro.models import GraphInputs
+from repro.models.convs import (
+    GATConv,
+    GCNConv,
+    ParaGraphConv,
+    RGCNConv,
+    SageConv,
+    make_conv,
+)
+from repro.models.encoder import NodeTypeEncoder
+from repro.nn import Tensor
+
+from tests.nn.gradcheck import assert_gradients_match
+
+DIM = 8
+
+
+@pytest.fixture(scope="module")
+def nand_inputs():
+    graph = build_graph(primitives.nand2())
+    scaler = FeatureScaler().fit([graph])
+    return GraphInputs.from_graph(graph, scaler)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _h(inputs, seed=1):
+    return Tensor(np.random.default_rng(seed).standard_normal((inputs.num_nodes, DIM)))
+
+
+class TestInputs:
+    def test_merged_edges(self, nand_inputs):
+        total = sum(len(src) for src, _ in nand_inputs.edges.values())
+        assert len(nand_inputs.merged_src) == total
+        assert len(nand_inputs.merged_dst) == total
+        # nand2: 4 devices + 4 signal nets (a, b, y, mid)
+        assert nand_inputs.num_nodes == 8
+
+    def test_self_loops(self, nand_inputs):
+        src, dst = nand_inputs.with_self_loops()
+        assert len(src) == len(nand_inputs.merged_src) + nand_inputs.num_nodes
+
+    def test_in_degrees(self, nand_inputs):
+        deg = nand_inputs.in_degrees()
+        assert deg.sum() == len(nand_inputs.merged_src)
+        deg_loops = nand_inputs.in_degrees(include_self_loops=True)
+        np.testing.assert_allclose(deg_loops, deg + 1)
+
+
+class TestLayerShapes:
+    @pytest.mark.parametrize("name", ["gcn", "sage", "rgcn", "gat", "paragraph"])
+    def test_output_shape(self, nand_inputs, name):
+        conv = make_conv(name, DIM, sorted(nand_inputs.edges), _rng())
+        out = conv(_h(nand_inputs), nand_inputs)
+        assert out.shape == (nand_inputs.num_nodes, DIM)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_unknown_conv_raises(self, nand_inputs):
+        with pytest.raises(ModelError):
+            make_conv("transformer", DIM, [], _rng())
+
+
+class TestLayerSemantics:
+    def test_sage_rows_unit_norm(self, nand_inputs):
+        conv = SageConv(DIM, _rng())
+        out = conv(_h(nand_inputs), nand_inputs).numpy()
+        norms = np.linalg.norm(out, axis=1)
+        ok = norms > 1e-9
+        np.testing.assert_allclose(norms[ok], 1.0)
+
+    def test_gcn_isolated_node_sees_self_loop(self):
+        """GCN output for an isolated node is nonzero thanks to self-loops."""
+        graph = build_graph(primitives.inverter())
+        scaler = FeatureScaler().fit([graph])
+        inputs = GraphInputs.from_graph(graph, scaler)
+        # remove all edges to isolate every node
+        inputs.edges = {}
+        inputs.merged_src = np.empty(0, dtype=np.int64)
+        inputs.merged_dst = np.empty(0, dtype=np.int64)
+        conv = GCNConv(DIM, _rng())
+        out = conv(_h(inputs), inputs).numpy()
+        assert np.abs(out).sum() > 0
+
+    def test_rgcn_skips_missing_edge_types(self, nand_inputs):
+        conv = RGCNConv(DIM, ["net->transistor_gate", "nonexistent->net"], _rng())
+        out = conv(_h(nand_inputs), nand_inputs)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_rgcn_no_matching_edges_uses_self_weight(self, nand_inputs):
+        conv = RGCNConv(DIM, ["nonexistent->net"], _rng())
+        out = conv(_h(nand_inputs), nand_inputs).numpy()
+        assert np.abs(out).sum() > 0
+
+    def test_gat_attention_is_weighted_average(self, nand_inputs):
+        """GAT aggregation lies in the convex hull of transformed neighbours:
+        with all-equal scores it reduces to a mean."""
+        conv = GATConv(DIM, _rng())
+        conv.attn_dst.data[:] = 0.0
+        conv.attn_src.data[:] = 0.0
+        h = _h(nand_inputs)
+        out = conv(h, nand_inputs).numpy()
+        assert np.isfinite(out).all()
+
+    def test_paragraph_needs_edge_types(self):
+        with pytest.raises(ModelError):
+            ParaGraphConv(DIM, [], _rng())
+
+    def test_paragraph_unknown_edge_type_raises(self, nand_inputs):
+        conv = ParaGraphConv(DIM, ["only->this"], _rng())
+        with pytest.raises(ModelError):
+            conv(_h(nand_inputs), nand_inputs)
+
+    def test_paragraph_shared_weights_variant(self, nand_inputs):
+        conv = ParaGraphConv(
+            DIM, sorted(nand_inputs.edges), _rng(), group_edge_types=False
+        )
+        assert len(conv.type_weights) == 1
+        out = conv(_h(nand_inputs), nand_inputs)
+        assert out.shape == (nand_inputs.num_nodes, DIM)
+
+    def test_paragraph_ablation_flags_change_output(self, nand_inputs):
+        h = _h(nand_inputs)
+        edge_types = sorted(nand_inputs.edges)
+        full = ParaGraphConv(DIM, edge_types, _rng(5))
+        noattn = ParaGraphConv(DIM, edge_types, _rng(5), use_attention=False)
+        out_full = full(h, nand_inputs).numpy()
+        out_noattn = noattn(h, nand_inputs).numpy()
+        assert not np.allclose(out_full, out_noattn)
+
+    def test_paragraph_no_concat_dim(self, nand_inputs):
+        conv = ParaGraphConv(
+            DIM, sorted(nand_inputs.edges), _rng(), concat_skip=False
+        )
+        assert conv.update.in_features == DIM
+        out = conv(_h(nand_inputs), nand_inputs)
+        assert out.shape == (nand_inputs.num_nodes, DIM)
+
+
+class TestLayerGradients:
+    @pytest.mark.parametrize("name", ["gcn", "sage", "rgcn", "gat", "paragraph"])
+    def test_gradients_flow_to_all_parameters(self, nand_inputs, name):
+        conv = make_conv(name, DIM, sorted(nand_inputs.edges), _rng(2))
+        h = Tensor(
+            np.random.default_rng(3).standard_normal((nand_inputs.num_nodes, DIM)),
+            requires_grad=True,
+        )
+        loss = (conv(h, nand_inputs) ** 2).sum()
+        loss.backward()
+        assert h.grad is not None and np.abs(h.grad).sum() > 0
+
+    def test_paragraph_gradcheck(self, nand_inputs):
+        """Finite-difference check through a full ParaGraph layer."""
+        conv = ParaGraphConv(4, sorted(nand_inputs.edges), _rng(4))
+        h = Tensor(
+            np.random.default_rng(5).standard_normal((nand_inputs.num_nodes, 4))
+        )
+        params = [conv.update.weight, conv.agg_bias]
+        assert_gradients_match(
+            lambda: (conv(h, nand_inputs) ** 2).sum(), params, atol=1e-5, rtol=1e-3
+        )
+
+
+class TestEncoder:
+    def test_scatter_covers_all_nodes(self, nand_inputs):
+        dims = {t: nand_inputs.features[t].shape[1] for t in nand_inputs.features}
+        encoder = NodeTypeEncoder(dims, DIM, _rng())
+        out = encoder(nand_inputs)
+        assert out.shape == (nand_inputs.num_nodes, DIM)
+
+    def test_missing_type_raises(self, nand_inputs):
+        encoder = NodeTypeEncoder({"net": 1}, DIM, _rng())
+        with pytest.raises(ModelError):
+            encoder(nand_inputs)

@@ -1,0 +1,79 @@
+"""Tests for model persistence and the deployment prediction path."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators.analog import two_stage_opamp
+from repro.errors import ModelError
+from repro.models import TargetPredictor, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_bundle):
+    config = TrainConfig(epochs=6, embed_dim=8, num_layers=2, run_seed=0)
+    return TargetPredictor("paragraph", "CAP", config).fit(tiny_bundle)
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions_identical(self, fitted, tiny_bundle, tmp_path):
+        path = tmp_path / "cap.npz"
+        fitted.save(path)
+        loaded = TargetPredictor.load(path)
+        record = tiny_bundle.records("test")[0]
+        _, original = fitted.predict(record)
+        _, restored = loaded.predict(record)
+        np.testing.assert_allclose(original, restored)
+
+    def test_loaded_metadata(self, fitted, tmp_path):
+        path = tmp_path / "cap.npz"
+        fitted.save(path)
+        loaded = TargetPredictor.load(path)
+        assert loaded.conv == "paragraph"
+        assert loaded.spec.name == "CAP"
+        assert loaded.target_scaler.scale == fitted.target_scaler.scale
+
+    def test_save_unfitted_raises(self, tmp_path):
+        predictor = TargetPredictor("paragraph", "CAP")
+        with pytest.raises(ModelError):
+            predictor.save(tmp_path / "x.npz")
+
+    def test_conv_kwargs_survive(self, tiny_bundle, tmp_path):
+        config = TrainConfig(
+            epochs=4, embed_dim=8, num_layers=2,
+            conv_kwargs={"use_attention": False},
+        )
+        predictor = TargetPredictor("paragraph", "CAP", config).fit(tiny_bundle)
+        path = tmp_path / "m.npz"
+        predictor.save(path)
+        loaded = TargetPredictor.load(path)
+        record = tiny_bundle.records("test")[0]
+        _, a = predictor.predict(record)
+        _, b = loaded.predict(record)
+        np.testing.assert_allclose(a, b)
+
+    def test_device_target_roundtrip(self, tiny_bundle, tmp_path):
+        config = TrainConfig(epochs=4, embed_dim=8, num_layers=2)
+        predictor = TargetPredictor("paragraph", "SA", config).fit(tiny_bundle)
+        path = tmp_path / "sa.npz"
+        predictor.save(path)
+        loaded = TargetPredictor.load(path)
+        record = tiny_bundle.records("test")[0]
+        _, a = predictor.predict(record)
+        _, b = loaded.predict(record)
+        np.testing.assert_allclose(a, b)
+
+
+class TestPredictCircuit:
+    def test_predict_circuit_no_layout_needed(self, fitted):
+        """Deployment path: schematic in, predictions out."""
+        opamp = two_stage_opamp()
+        predictions = fitted.predict_circuit(opamp)
+        expected = {n.name for n in opamp.signal_nets()}
+        assert set(predictions) == expected
+        assert all(v >= 0 for v in predictions.values())
+
+    def test_predict_circuit_matches_record_path(self, fitted, tiny_bundle):
+        record = tiny_bundle.records("test")[0]
+        via_record = fitted.predict_named(record)
+        via_circuit = fitted.predict_circuit(record.circuit)
+        assert via_record == via_circuit

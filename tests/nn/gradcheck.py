@@ -1,0 +1,44 @@
+"""Finite-difference gradient checking helper shared by nn tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(
+    func: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``func()`` w.r.t. *tensor*."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func().item()
+        flat[i] = original - eps
+        minus = func().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradients_match(
+    func: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> None:
+    """Check autodiff gradients of scalar ``func()`` against finite differences."""
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = func()
+    loss.backward()
+    for tensor in tensors:
+        assert tensor.grad is not None, "missing gradient"
+        expected = numeric_gradient(func, tensor)
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=rtol)

@@ -1,0 +1,116 @@
+"""Tests for RMSprop, LR schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineLR,
+    Parameter,
+    RMSprop,
+    SGD,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+)
+
+
+def _descend(optimizer_factory, steps=300, tol=1e-3):
+    target = np.array([1.0, -2.0, 0.5])
+    x = Parameter(np.zeros(3))
+    opt = optimizer_factory([x])
+    for _ in range(steps):
+        opt.zero_grad()
+        ((x - Tensor(target)) ** 2).sum().backward()
+        opt.step()
+    np.testing.assert_allclose(x.data, target, atol=tol)
+
+
+class TestRMSprop:
+    def test_converges(self):
+        _descend(lambda p: RMSprop(p, lr=0.05), steps=400, tol=1e-2)
+
+    def test_momentum_converges(self):
+        _descend(lambda p: RMSprop(p, lr=0.02, momentum=0.9), steps=400, tol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        x = Parameter(np.array([5.0]))
+        opt = RMSprop([x], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (x * 0.0).sum().backward()
+        opt.step()
+        assert abs(x.data[0]) < 5.0
+
+    def test_skips_gradless_params(self):
+        x = Parameter(np.array([1.0]))
+        RMSprop([x], lr=0.1).step()
+        np.testing.assert_allclose(x.data, [1.0])
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        x = Parameter(np.zeros(4))
+        x.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([x], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        x = Parameter(np.zeros(2))
+        x.grad = np.array([0.1, 0.1])
+        clip_grad_norm([x], max_norm=1.0)
+        np.testing.assert_allclose(x.grad, [0.1, 0.1])
+
+    def test_invalid_norm_raises(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+    def test_skips_gradless(self):
+        x = Parameter(np.zeros(2))
+        assert clip_grad_norm([x], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_step_lr_halves(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = StepLR(opt, step_size=2, gamma=0.5)
+        schedule.step()
+        assert schedule.lr == 1.0
+        schedule.step()
+        assert schedule.lr == 0.5
+        schedule.step()
+        schedule.step()
+        assert schedule.lr == 0.25
+
+    def test_step_lr_validation(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+
+    def test_cosine_reaches_eta_min(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        schedule = CosineLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            schedule.step()
+        assert schedule.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decrease(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        schedule = CosineLR(opt, t_max=20)
+        rates = []
+        for _ in range(20):
+            schedule.step()
+            rates.append(schedule.lr)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_cosine_saturates_after_t_max(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        schedule = CosineLR(opt, t_max=5)
+        for _ in range(8):
+            schedule.step()
+        assert schedule.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_validation(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineLR(opt, t_max=0)

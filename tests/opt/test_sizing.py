@@ -1,0 +1,121 @@
+"""Tests for parasitic-aware sizing optimization."""
+
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.generators.primitives import buffer
+from repro.circuits.netlist import Circuit
+from repro.errors import ReproError
+from repro.opt import (
+    SizingProblem,
+    SizingVariable,
+    coordinate_descent,
+    evaluate_sizing,
+)
+from repro.sim.metrics import Testbench
+
+
+def _buffer_problem(metric="delay", load=30e-15) -> SizingProblem:
+    def build(sizing: dict[str, float]) -> Testbench:
+        cell = buffer(nfin_first=2, stage_ratio=sizing["ratio"], stages=3)
+        bench = Circuit("tb")
+        bench.embed(cell, "dut", {"a": "in", "y": "out"})
+        bench.add_instance(
+            "cload", dev.CAPACITOR, {"p": "out", "n": "vss"},
+            {"C": load, "MULTI": 1},
+        )
+        return Testbench("tb", bench, "in", "out", ("delay", "rise_time"))
+
+    return SizingProblem(
+        build=build,
+        variables=[SizingVariable("ratio", (2.0, 3.0, 4.0, 6.0))],
+        metric=metric,
+        minimize=True,
+    )
+
+
+class TestSizingVariable:
+    def test_needs_two_values(self):
+        with pytest.raises(ReproError):
+            SizingVariable("x", (1.0,))
+
+
+class TestEvaluate:
+    def test_unknown_mode_raises(self):
+        problem = _buffer_problem()
+        with pytest.raises(ReproError):
+            evaluate_sizing(problem, problem.initial_sizing(), "oracle")
+
+    def test_predicted_requires_predictor(self):
+        problem = _buffer_problem()
+        with pytest.raises(ReproError):
+            evaluate_sizing(problem, problem.initial_sizing(), "predicted")
+
+    def test_unknown_metric_raises(self):
+        problem = _buffer_problem(metric="bandwidth")
+        with pytest.raises(ReproError):
+            evaluate_sizing(problem, problem.initial_sizing(), "none")
+
+    def test_layout_mode_includes_parasitics(self):
+        problem = _buffer_problem()
+        sizing = problem.initial_sizing()
+        bare = evaluate_sizing(problem, sizing, "none")
+        with_layout = evaluate_sizing(problem, sizing, "layout")
+        assert with_layout > bare  # parasitics slow the buffer down
+
+    def test_layout_mode_deterministic(self):
+        problem = _buffer_problem()
+        sizing = problem.initial_sizing()
+        a = evaluate_sizing(problem, sizing, "layout")
+        b = evaluate_sizing(problem, sizing, "layout")
+        assert a == b
+
+
+class TestCoordinateDescent:
+    def test_finds_grid_optimum_in_layout_mode(self):
+        problem = _buffer_problem()
+        result = coordinate_descent(problem, "layout")
+        # brute force over the 1-D grid must agree
+        best = min(
+            problem.variables[0].values,
+            key=lambda v: evaluate_sizing(problem, {"ratio": v}, "layout"),
+        )
+        assert result.sizing["ratio"] == best
+
+    def test_caches_evaluations(self):
+        problem = _buffer_problem()
+        result = coordinate_descent(problem, "none")
+        # 4 grid points -> exactly 4 distinct evaluations, however many rounds
+        assert result.evaluations == 4
+
+    def test_history_recorded(self):
+        problem = _buffer_problem()
+        result = coordinate_descent(problem, "none")
+        assert len(result.history) == result.evaluations
+        assert all(isinstance(s, dict) for s, _ in result.history)
+
+    def test_render(self):
+        problem = _buffer_problem()
+        text = coordinate_descent(problem, "none").render()
+        assert "ratio=" in text and "evaluations" in text
+
+    def test_maximize_mode(self):
+        problem = _buffer_problem()
+        problem.minimize = False  # maximise delay: slowest sizing wins
+        result = coordinate_descent(problem, "none")
+        worst = max(
+            problem.variables[0].values,
+            key=lambda v: evaluate_sizing(problem, {"ratio": v}, "none"),
+        )
+        assert result.sizing["ratio"] == worst
+
+    def test_predicted_mode_with_trained_model(self, tiny_bundle):
+        from repro.models import TargetPredictor, TrainConfig
+
+        predictor = TargetPredictor(
+            "paragraph", "CAP",
+            TrainConfig(epochs=5, embed_dim=8, num_layers=2),
+        ).fit(tiny_bundle)
+        problem = _buffer_problem()
+        result = coordinate_descent(problem, "predicted", predictor=predictor)
+        assert result.sizing["ratio"] in problem.variables[0].values

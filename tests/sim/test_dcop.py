@@ -1,0 +1,79 @@
+"""Tests for DC operating point and parasitic sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.errors import SimulationError
+from repro.sim import Annotations, build_mna, cap_sensitivity, dc_operating_point
+from repro.sim.metrics import Testbench
+
+
+def _divider() -> Circuit:
+    c = Circuit("div")
+    c.add_instance("r1", dev.RESISTOR, {"p": "in", "n": "out"}, {"R": 1e3, "L": 1e-6})
+    c.add_instance("r2", dev.RESISTOR, {"p": "out", "n": "vss"}, {"R": 3e3, "L": 1e-6})
+    return c
+
+
+def _two_pole() -> Circuit:
+    """Two cascaded RC sections: out dominated by the second cap."""
+    c = Circuit("rc2")
+    c.add_instance("r1", dev.RESISTOR, {"p": "in", "n": "mid"}, {"R": 1e3, "L": 1e-6})
+    c.add_instance("r2", dev.RESISTOR, {"p": "mid", "n": "out"}, {"R": 1e3, "L": 1e-6})
+    return c
+
+
+class TestDcOperatingPoint:
+    def test_resistive_divider(self):
+        system = build_mna(_divider(), "in")
+        op = dc_operating_point(system, input_level=1.0)
+        assert op["in"] == pytest.approx(1.0, rel=1e-6)
+        assert op["out"] == pytest.approx(0.75, rel=1e-3)
+
+    def test_scales_with_input(self):
+        system = build_mna(_divider(), "in")
+        op = dc_operating_point(system, input_level=2.0)
+        assert op["out"] == pytest.approx(1.5, rel=1e-3)
+
+    def test_covers_all_nodes(self):
+        system = build_mna(_two_pole(), "in")
+        op = dc_operating_point(system)
+        assert set(op) >= {"in", "mid", "out"}
+
+
+class TestCapSensitivity:
+    def _bench(self):
+        return Testbench("rc2", _two_pole(), "in", "out", ("bandwidth",))
+
+    def test_dominant_cap_ranks_first(self):
+        bench = self._bench()
+        annotations = Annotations(
+            net_caps={"mid": 1e-15, "out": 500e-15}
+        )
+        ranking = cap_sensitivity(bench, annotations, "bandwidth")
+        assert ranking[0][0] == "out"
+        assert ranking[0][1] > ranking[-1][1]
+
+    def test_sensitivities_non_negative(self):
+        bench = self._bench()
+        ranking = cap_sensitivity(
+            bench, Annotations(net_caps={"mid": 50e-15, "out": 50e-15}), "bandwidth"
+        )
+        assert all(value >= 0 for _, value in ranking)
+
+    def test_unknown_metric_raises(self):
+        bench = self._bench()
+        with pytest.raises(SimulationError):
+            cap_sensitivity(bench, Annotations(net_caps={"out": 1e-15}), "delay")
+
+    def test_tiny_caps_skipped(self):
+        bench = self._bench()
+        ranking = cap_sensitivity(
+            bench,
+            Annotations(net_caps={"mid": 1e-21, "out": 50e-15}),
+            "bandwidth",
+        )
+        nets = [net for net, _ in ranking]
+        assert nets == ["out"]

@@ -1,0 +1,134 @@
+"""Tests for MNA assembly and analytic sanity of AC/transient analyses."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.netlist import Circuit
+from repro.errors import SimulationError
+from repro.sim import (
+    Annotations,
+    ac_analysis,
+    build_mna,
+    transient_step,
+)
+
+
+def _rc_circuit(r=1e3, c=1e-12) -> Circuit:
+    """Voltage source -> R -> out with C to ground: a textbook RC."""
+    circuit = Circuit("rc")
+    circuit.add_instance("r1", dev.RESISTOR, {"p": "in", "n": "out"}, {"R": r, "L": 1e-6})
+    circuit.add_instance("c1", dev.CAPACITOR, {"p": "out", "n": "vss"}, {"C": c, "MULTI": 1})
+    return circuit
+
+
+def _common_source() -> Circuit:
+    """NMOS common-source stage with a resistive load."""
+    circuit = Circuit("cs")
+    circuit.add_instance(
+        "m1", dev.TRANSISTOR,
+        {"drain": "out", "gate": "in", "source": "vss", "bulk": "vss"},
+        {"TYPE": dev.NMOS, "NFIN": 4, "NF": 2, "L": 16e-9, "MULTI": 1},
+    )
+    circuit.add_instance("rl", dev.RESISTOR, {"p": "out", "n": "vdd"}, {"R": 10e3, "L": 1e-6})
+    return circuit
+
+
+class TestBuild:
+    def test_input_validation(self):
+        circuit = _rc_circuit()
+        with pytest.raises(SimulationError):
+            build_mna(circuit, "nonexistent")
+        with pytest.raises(SimulationError):
+            build_mna(circuit, "vss")
+
+    def test_system_dimensions(self):
+        system = build_mna(_rc_circuit(), "in")
+        # 2 signal nets + 1 source branch
+        assert system.G.shape == (3, 3)
+        assert system.node("out") == system.node_index["out"]
+        with pytest.raises(SimulationError):
+            system.node("ghost")
+
+    def test_annotation_adds_capacitance(self):
+        bare = build_mna(_rc_circuit(), "in")
+        annotated = build_mna(
+            _rc_circuit(), "in", Annotations(net_caps={"out": 5e-12})
+        )
+        out = bare.node("out")
+        assert annotated.C[out, out] == pytest.approx(bare.C[out, out] + 5e-12)
+
+    def test_device_area_annotation_changes_junction_caps(self):
+        small = build_mna(
+            _common_source(), "in",
+            Annotations(device_areas={"m1": (1e-15, 1e-15)}),
+        )
+        large = build_mna(
+            _common_source(), "in",
+            Annotations(device_areas={"m1": (1e-13, 1e-13)}),
+        )
+        out = small.node("out")
+        assert large.C[out, out] > small.C[out, out]
+
+
+class TestAcAnalytic:
+    def test_rc_corner_frequency(self):
+        """f3db of an RC low-pass must equal 1/(2 pi R C)."""
+        r, c = 1e3, 1e-12
+        system = build_mna(_rc_circuit(r, c), "in")
+        sweep = ac_analysis(system, "out", f_start=1e4, f_stop=1e12,
+                            points_per_decade=40)
+        expected = 1.0 / (2 * np.pi * r * c)
+        assert sweep.bandwidth_3db() == pytest.approx(expected, rel=0.05)
+
+    def test_rc_dc_gain_unity(self):
+        system = build_mna(_rc_circuit(), "in")
+        sweep = ac_analysis(system, "out", f_start=1e3, f_stop=1e9)
+        assert sweep.dc_gain() == pytest.approx(1.0, rel=1e-3)
+
+    def test_common_source_gain_is_gm_rl(self):
+        from repro.sim.devices import mos_small_signal
+
+        circuit = _common_source()
+        model = mos_small_signal(circuit.instance("m1"))
+        rl, gds = 10e3, model.gds
+        expected = model.gm / (1.0 / rl + gds)
+        system = build_mna(circuit, "in")
+        sweep = ac_analysis(system, "out", f_start=1e3, f_stop=1e9)
+        assert sweep.dc_gain() == pytest.approx(expected, rel=0.02)
+
+    def test_added_cap_reduces_bandwidth(self):
+        bare = build_mna(_common_source(), "in")
+        loaded = build_mna(
+            _common_source(), "in", Annotations(net_caps={"out": 100e-15})
+        )
+        bw_bare = ac_analysis(bare, "out").bandwidth_3db()
+        bw_loaded = ac_analysis(loaded, "out").bandwidth_3db()
+        assert bw_loaded < bw_bare / 2
+
+
+class TestTransientAnalytic:
+    def test_rc_step_time_constant(self):
+        """63.2% crossing of an RC step response happens at t = RC."""
+        r, c = 1e3, 1e-12
+        system = build_mna(_rc_circuit(r, c), "in")
+        result = transient_step(system, "out", t_stop=10e-9, dt=2e-12)
+        tau = result.crossing_time(result.final_value() * (1 - np.exp(-1)))
+        assert tau == pytest.approx(r * c, rel=0.05)
+
+    def test_final_value_reaches_input(self):
+        system = build_mna(_rc_circuit(), "in")
+        result = transient_step(system, "out", t_stop=20e-9, dt=5e-12)
+        assert result.final_value() == pytest.approx(1.0, rel=1e-2)
+
+    def test_rise_time_scales_with_cap(self):
+        fast = build_mna(_rc_circuit(c=0.5e-12), "in")
+        slow = build_mna(_rc_circuit(c=2e-12), "in")
+        rt_fast = transient_step(fast, "out", t_stop=20e-9, dt=5e-12).rise_time()
+        rt_slow = transient_step(slow, "out", t_stop=20e-9, dt=5e-12).rise_time()
+        assert rt_slow == pytest.approx(4 * rt_fast, rel=0.1)
+
+    def test_slew_rate_positive(self):
+        system = build_mna(_rc_circuit(), "in")
+        result = transient_step(system, "out", t_stop=10e-9, dt=2e-12)
+        assert result.slew_rate() > 0

@@ -1,0 +1,117 @@
+"""Tests for RC-wire (pi model) simulation support and multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import devices as dev
+from repro.circuits.generators.analog import rc_filter
+from repro.circuits.netlist import Circuit
+from repro.layout import synthesize_layout
+from repro.sim import Annotations, ac_analysis, build_mna, reference_annotations
+
+
+def _driver_circuit() -> Circuit:
+    c = Circuit("drv")
+    c.add_instance("rs", dev.RESISTOR, {"p": "in", "n": "out"}, {"R": 1e3, "L": 1e-6})
+    c.add_instance("cl", dev.CAPACITOR, {"p": "out", "n": "vss"}, {"C": 10e-15, "MULTI": 1})
+    return c
+
+
+class TestRcPiModel:
+    def test_shadow_node_created(self):
+        system = build_mna(
+            _driver_circuit(), "in",
+            Annotations(net_caps={"out": 10e-15}, net_res={"out": 500.0}),
+        )
+        assert "out#rc" in system.node_index
+
+    def test_no_shadow_without_resistance(self):
+        system = build_mna(
+            _driver_circuit(), "in", Annotations(net_caps={"out": 10e-15})
+        )
+        assert "out#rc" not in system.node_index
+
+    def test_no_shadow_without_cap(self):
+        system = build_mna(
+            _driver_circuit(), "in", Annotations(net_res={"out": 500.0})
+        )
+        assert "out#rc" not in system.node_index
+
+    def test_pi_model_splits_capacitance(self):
+        plain = build_mna(
+            _driver_circuit(), "in", Annotations(net_caps={"out": 10e-15})
+        )
+        rc = build_mna(
+            _driver_circuit(), "in",
+            Annotations(net_caps={"out": 10e-15}, net_res={"out": 500.0}),
+        )
+        out = rc.node("out")
+        shadow = rc.node("out#rc")
+        # near-end cap is halved; far-end carries the other half
+        assert rc.C[out, out] == pytest.approx(plain.C[out, out] - 5e-15)
+        assert rc.C[shadow, shadow] == pytest.approx(5e-15)
+
+    def test_resistive_wire_shields_bandwidth(self):
+        """At DC nothing changes; the shielded pole moves bandwidth up
+        slightly versus the full lumped cap (classic RC shielding)."""
+        lumped = build_mna(
+            _driver_circuit(), "in", Annotations(net_caps={"out": 100e-15})
+        )
+        shielded = build_mna(
+            _driver_circuit(), "in",
+            Annotations(net_caps={"out": 100e-15}, net_res={"out": 10e3}),
+        )
+        bw_lumped = ac_analysis(lumped, "out").bandwidth_3db()
+        bw_shielded = ac_analysis(shielded, "out").bandwidth_3db()
+        assert bw_shielded > bw_lumped
+
+    def test_reference_annotations_resistance_flag(self):
+        circuit = rc_filter(stages=2)
+        layout = synthesize_layout(circuit, seed=1)
+        without = reference_annotations(layout)
+        with_res = reference_annotations(layout, include_resistance=True)
+        assert without.net_res == {}
+        assert set(with_res.net_res) == set(layout.net_res)
+
+
+class TestMultiHeadAttention:
+    def test_head_validation(self):
+        from repro.errors import ModelError
+        from repro.models.convs import ParaGraphConv
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ModelError):
+            ParaGraphConv(8, ["a->b"], rng, num_heads=3)  # 3 does not divide 8
+        with pytest.raises(ModelError):
+            ParaGraphConv(8, ["a->b"], rng, num_heads=0)
+
+    def test_multi_head_output_shape(self):
+        from repro.circuits.generators import primitives
+        from repro.data import FeatureScaler
+        from repro.graph import build_graph
+        from repro.models import GraphInputs
+        from repro.models.convs import ParaGraphConv
+        from repro.nn import Tensor
+
+        graph = build_graph(primitives.nand2())
+        scaler = FeatureScaler().fit([graph])
+        inputs = GraphInputs.from_graph(graph, scaler)
+        rng = np.random.default_rng(0)
+        conv = ParaGraphConv(8, sorted(inputs.edges), rng, num_heads=4)
+        h = Tensor(np.random.default_rng(1).standard_normal((inputs.num_nodes, 8)))
+        out = conv(h, inputs)
+        assert out.shape == (inputs.num_nodes, 8)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_multi_head_model_trains(self, tiny_bundle):
+        from repro.models import TargetPredictor, TrainConfig
+
+        predictor = TargetPredictor(
+            "paragraph", "CAP",
+            TrainConfig(
+                epochs=5, embed_dim=8, num_layers=2,
+                conv_kwargs={"num_heads": 2},
+            ),
+        ).fit(tiny_bundle)
+        losses = predictor.history.losses
+        assert losses[-1] < losses[0]

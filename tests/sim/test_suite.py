@@ -1,0 +1,118 @@
+"""Tests for the testbench suite, metric computation and annotation modes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import analog
+from repro.circuits.netlist import Circuit
+from repro.errors import SimulationError
+from repro.layout import synthesize_layout
+from repro.sim import (
+    build_testbenches,
+    compute_metrics,
+    designer_annotations,
+    predicted_annotations,
+    reference_annotations,
+    schematic_annotations,
+    total_metric_count,
+)
+from repro.sim.metrics import ALL_METRIC_NAMES, Testbench
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return build_testbenches()
+
+
+class TestSuiteStructure:
+    def test_total_metric_count_is_67(self, benches):
+        """The paper evaluates 67 circuit metrics; so do we."""
+        assert total_metric_count(benches) == 67
+
+    def test_bench_names_unique(self, benches):
+        names = [b.name for b in benches]
+        assert len(names) == len(set(names))
+
+    def test_all_metrics_valid(self, benches):
+        for bench in benches:
+            assert set(bench.metrics) <= set(ALL_METRIC_NAMES)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(SimulationError):
+            Testbench("x", Circuit("c"), "a", "b", ("psrr",))
+
+    def test_io_nets_exist(self, benches):
+        for bench in benches:
+            assert bench.circuit.has_net(bench.input_net), bench.name
+            assert bench.circuit.has_net(bench.output_net), bench.name
+
+
+class TestMetricComputation:
+    def test_all_benches_produce_finite_metrics(self, benches):
+        for bench in benches:
+            layout = synthesize_layout(bench.circuit, seed=5)
+            values = compute_metrics(bench, reference_annotations(layout))
+            assert set(values) == set(bench.metrics), bench.name
+            for metric, value in values.items():
+                assert np.isfinite(value), f"{bench.name}/{metric}"
+
+    def test_metrics_respond_to_annotations(self, benches):
+        """Reference (with parasitics) differs from schematic (without)."""
+        bench = benches[0]  # inverter chain: delay metrics are cap-sensitive
+        layout = synthesize_layout(bench.circuit, seed=5)
+        ref = compute_metrics(bench, reference_annotations(layout))
+        bare = compute_metrics(bench, schematic_annotations(bench.circuit))
+        assert ref["cap_total"] > bare["cap_total"]
+        assert ref["delay"] != bare["delay"]
+
+    def test_perfect_annotation_gives_zero_error(self, benches):
+        bench = benches[0]
+        layout = synthesize_layout(bench.circuit, seed=5)
+        ref = compute_metrics(bench, reference_annotations(layout))
+        again = compute_metrics(bench, reference_annotations(layout))
+        for metric in ref:
+            assert ref[metric] == pytest.approx(again[metric])
+
+
+class TestAnnotationModes:
+    def test_reference_covers_all(self):
+        circuit = analog.two_stage_opamp()
+        layout = synthesize_layout(circuit, seed=2)
+        ann = reference_annotations(layout)
+        assert set(ann.net_caps) == {n.name for n in circuit.signal_nets()}
+        assert len(ann.device_areas) == 7  # MOSFET count of the op-amp
+
+    def test_schematic_has_no_net_caps(self):
+        circuit = analog.two_stage_opamp()
+        ann = schematic_annotations(circuit)
+        assert ann.net_caps == {}
+        assert len(ann.device_areas) == 7
+
+    def test_designer_has_net_caps(self):
+        circuit = analog.two_stage_opamp()
+        ann = designer_annotations(circuit)
+        assert len(ann.net_caps) == len(circuit.signal_nets())
+
+    def test_predicted_requires_consistent_areas(self):
+        with pytest.raises(SimulationError):
+            predicted_annotations({"n": 1e-15}, {"a": 1.0}, {"b": 1.0})
+        with pytest.raises(SimulationError):
+            predicted_annotations({"n": 1e-15})
+
+    def test_predicted_fallback_to_schematic_areas(self):
+        circuit = analog.two_stage_opamp()
+        ann = predicted_annotations({"out": 1e-15}, circuit=circuit)
+        assert len(ann.device_areas) == 7
+
+    def test_schematic_areas_assume_no_sharing(self):
+        """The pre-layout estimate must over-estimate shared diffusion."""
+        circuit = analog.ota_5t()
+        layout = synthesize_layout(circuit, seed=2)
+        schematic = schematic_annotations(circuit)
+        reference = reference_annotations(layout)
+        over = 0
+        for name, (sa_est, _) in schematic.device_areas.items():
+            sa_true, _ = reference.device_areas[name]
+            if sa_est >= sa_true * 0.99:
+                over += 1
+        assert over >= len(schematic.device_areas) / 2

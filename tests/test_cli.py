@@ -1,0 +1,119 @@
+"""Tests for the command-line interface and the annotate-netlist flow."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import read_spice, write_spice
+from repro.circuits.generators.analog import ota_5t
+from repro.cli import main
+from repro.sim import annotated_netlist
+
+SPICE_OTA = """* tiny amplifier
+M1 out in vss vss nch NFIN=4 NF=2
+Rload out vdd 10k
+Cin in vss 2f
+.end
+"""
+
+
+class TestAnnotatedNetlist:
+    def test_adds_capacitors(self):
+        circuit = ota_5t()
+        caps = {"out": 2e-15, "tail": 0.5e-15}
+        annotated = annotated_netlist(circuit, caps)
+        added = [
+            inst for inst in annotated.instances() if inst.name.startswith("cpar")
+        ]
+        assert len(added) == 2
+        values = sorted(inst.param("C") for inst in added)
+        assert values == [0.5e-15, 2e-15]
+
+    def test_skips_tiny_and_unknown_nets(self):
+        circuit = ota_5t()
+        annotated = annotated_netlist(
+            circuit, {"out": 1e-21, "ghost": 5e-15}, min_cap=1e-18
+        )
+        added = [
+            inst for inst in annotated.instances() if inst.name.startswith("cpar")
+        ]
+        assert added == []
+
+    def test_original_untouched(self):
+        circuit = ota_5t()
+        before = circuit.num_instances
+        annotated_netlist(circuit, {"out": 1e-15})
+        assert circuit.num_instances == before
+
+    def test_annotated_netlist_roundtrips_through_spice(self):
+        circuit = ota_5t()
+        annotated = annotated_netlist(circuit, {"out": 2e-15})
+        text = write_spice(annotated)
+        reparsed = read_spice(text, name="rt")
+        assert reparsed.num_instances == annotated.num_instances
+
+
+class TestCli:
+    def test_dataset_command(self, capsys):
+        assert main(["dataset", "--scale", "0.05", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "t18" in out
+
+    def test_train_and_predict_roundtrip(self, tmp_path, capsys):
+        model_path = tmp_path / "cap.npz"
+        code = main(
+            [
+                "train", "--target", "CAP", "--epochs", "3",
+                "--scale", "0.05", "--out", str(model_path),
+            ]
+        )
+        assert code == 0
+        assert model_path.exists()
+
+        netlist = tmp_path / "amp.sp"
+        netlist.write_text(SPICE_OTA)
+        annotated_path = tmp_path / "amp_annotated.sp"
+        code = main(
+            [
+                "predict", "--model", str(model_path),
+                "--netlist", str(netlist),
+                "--annotate", str(annotated_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CAP predictions" in out
+        annotated_text = annotated_path.read_text()
+        assert "cpar" in annotated_text
+        # predicted netlist still parses and has the extra capacitors
+        reparsed = read_spice(annotated_text)
+        cpar = [i for i in reparsed.instances() if "cpar" in i.name]
+        assert len(cpar) >= 1
+
+    def test_predict_annotate_requires_cap_model(self, tmp_path, capsys):
+        model_path = tmp_path / "sa.npz"
+        main(
+            [
+                "train", "--target", "SA", "--epochs", "3",
+                "--scale", "0.05", "--out", str(model_path),
+            ]
+        )
+        netlist = tmp_path / "amp.sp"
+        netlist.write_text(SPICE_OTA)
+        code = main(
+            [
+                "predict", "--model", str(model_path),
+                "--netlist", str(netlist),
+                "--annotate", str(tmp_path / "out.sp"),
+            ]
+        )
+        assert code == 2
+
+    def test_experiment_command_table4(self, capsys, monkeypatch):
+        monkeypatch.setenv("PARAGRAPH_BENCH_SCALE", "0.05")
+        assert main(["experiment", "table4"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,111 @@
+"""Tests for engineering units and deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnitError
+from repro.rng import SeedSequenceNamer, derive_seed, stream
+from repro.units import femto, format_eng, micro, nano, parse_value, pico, to_femto
+
+
+class TestParseValue:
+    def test_passthrough_numbers(self):
+        assert parse_value(3) == 3.0
+        assert parse_value(2.5) == 2.5
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("1t", 1e12),
+            ("1g", 1e9),
+            ("1x", 1e6),
+            ("1k", 1e3),
+            ("1m", 1e-3),
+            ("1u", 1e-6),
+            ("1n", 1e-9),
+            ("1p", 1e-12),
+            ("1f", 1e-15),
+            ("1a", 1e-18),
+            ("-2.5n", -2.5e-9),
+            ("+3e2", 300.0),
+        ],
+    )
+    def test_suffixes(self, text, value):
+        assert parse_value(text) == pytest.approx(value)
+
+    def test_unit_tail_ignored(self):
+        assert parse_value("10pF") == pytest.approx(10e-12)
+        assert parse_value("5kOhm") == pytest.approx(5e3)
+
+    def test_bare_unit_no_scale(self):
+        assert parse_value("3V") == 3.0
+
+    def test_meg_vs_m(self):
+        assert parse_value("1meg") == 1e6
+        assert parse_value("1m") == 1e-3
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--3"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(UnitError):
+            parse_value(bad)
+
+
+class TestFormatEng:
+    def test_basic(self):
+        assert format_eng(4.5e-15, "F") == "4.5fF"
+        assert format_eng(2e3) == "2k"
+        assert format_eng(0.0, "F") == "0F"
+
+    def test_nonfinite(self):
+        assert "inf" in format_eng(float("inf"))
+
+    def test_roundtrip_with_parse(self):
+        for value in (3.3e-15, 1.2e-12, 4.7e-9, 2.2e-6, 10e3):
+            assert parse_value(format_eng(value)) == pytest.approx(value, rel=1e-3)
+
+    def test_helpers(self):
+        assert femto(4.5) == pytest.approx(4.5e-15)
+        assert pico(1) == pytest.approx(1e-12)
+        assert nano(16) == pytest.approx(16e-9)
+        assert micro(2) == pytest.approx(2e-6)
+        assert to_femto(4.5e-15) == pytest.approx(4.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mantissa=st.floats(0.1, 999.0, allow_nan=False),
+    exponent=st.integers(-17, 11),
+)
+def test_property_format_parse_roundtrip(mantissa, exponent):
+    value = mantissa * 10.0**exponent
+    assert parse_value(format_eng(value, digits=9)) == pytest.approx(value, rel=1e-6)
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_derive_seed_sensitive_to_path(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_stream_independent(self):
+        a = stream(0, "x").standard_normal(4)
+        b = stream(0, "y").standard_normal(4)
+        assert not np.allclose(a, b)
+
+    def test_stream_reproducible(self):
+        a = stream(0, "x").standard_normal(4)
+        b = stream(0, "x").standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_namer_child_and_seed(self):
+        namer = SeedSequenceNamer(7, "layout")
+        child = namer.child("noise")
+        assert child.seed("k") == derive_seed(7, "layout", "noise", "k")
+        np.testing.assert_array_equal(
+            namer.stream("noise", "k").standard_normal(3),
+            child.stream("k").standard_normal(3),
+        )
