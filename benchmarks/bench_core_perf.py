@@ -5,11 +5,15 @@ measure repeatable kernels with real statistics: graph construction, layout
 synthesis, a ParaGraph forward pass, and a full training step.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.circuits.devices import NODE_TYPES
 from repro.circuits.generators.chip import TRAIN_RECIPES, compose_chip
+from repro.data.targets import target_by_name
+from repro.flows.runtime import MergedInputsCache
 from repro.graph import build_graph, merge_graphs
 from repro.graph.features import feature_dim
 from repro.layout import synthesize_layout
@@ -82,3 +86,45 @@ def test_perf_merge_graphs(benchmark, bundle):
     graphs = [record.graph for record in bundle.records("train")]
     merged = benchmark(lambda: merge_graphs(graphs))
     assert merged.num_nodes == sum(g.num_nodes for g in graphs)
+
+
+def test_perf_multi_target_setup_cached(benchmark, bundle):
+    """Multi-target training setup: shared MergedInputsCache vs per-target
+    rebuilding of the merged GraphInputs (what train_all_targets used to do).
+    """
+    records = bundle.records("train")
+    specs = [target_by_name(n) for n in ("CAP", "RES", "SA", "DA", "SP", "DP")]
+
+    def uncached_setup():
+        from repro.models.trainer import _merged_inputs
+
+        for spec in specs:
+            inputs, ids, values = _merged_inputs(records, bundle, spec)
+        return inputs
+
+    def cached_setup():
+        cache = MergedInputsCache()
+        for spec in specs:
+            inputs, ids, values = cache.merged_target(records, bundle.scaler, spec)
+        return cache, inputs
+
+    tick = time.perf_counter()
+    uncached_setup()
+    uncached_seconds = time.perf_counter() - tick
+
+    tick = time.perf_counter()
+    cache, inputs = cached_setup()
+    cached_seconds = time.perf_counter() - tick
+    # the benchmark below adds hits, so count the setup lookups first
+    assert cache.misses == 1 and cache.hits == len(specs) - 1
+    assert inputs.num_nodes == sum(r.graph.num_nodes for r in records)
+    benchmark(lambda: cache.merged(records, bundle.scaler))  # steady-state hit
+    # The cached path merges once instead of len(specs) times.
+    assert cached_seconds < uncached_seconds
+    print(
+        f"\nmulti-target setup over {len(specs)} targets: "
+        f"uncached={uncached_seconds * 1e3:.1f}ms "
+        f"cached={cached_seconds * 1e3:.1f}ms "
+        f"({uncached_seconds / cached_seconds:.1f}x)",
+        flush=True,
+    )

@@ -7,7 +7,17 @@ Subcommands::
 
     python -m repro train      --target CAP --conv paragraph --epochs 60
                                --scale 0.2 --seed 0 --out cap_model.npz
-        Train one predictor on a generated dataset and save it.
+                               [--metrics run.jsonl] [--checkpoint-dir ckpts]
+                               [--checkpoint-every 50] [--resume-from ckpt.npz]
+                               [--max-retries 2] [--patience 20]
+        Train one predictor on a generated dataset and save it; the
+        optional runtime flags enable metrics logging, checkpoint/resume,
+        divergence retries and early stopping.
+
+    python -m repro train-all  --targets CAP,SA,RES --epochs 60
+                               --out-dir models/ [--workers 4]
+        Train one predictor per target (all paper targets by default) with
+        shared merged-input caching (or a process pool) and save the suite.
 
     python -m repro predict    --model cap_model.npz --netlist in.sp
                                [--annotate out.sp]
@@ -36,6 +46,19 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runtime_from_args(args: argparse.Namespace):
+    from repro.flows.runtime import RuntimeConfig
+
+    return RuntimeConfig(
+        metrics_jsonl=getattr(args, "metrics", None),
+        progress_every=getattr(args, "progress_every", 0),
+        max_retries=getattr(args, "max_retries", 0),
+        patience=getattr(args, "patience", 0),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
+    )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.data import build_bundle
     from repro.models import TargetPredictor, TrainConfig
@@ -49,7 +72,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     predictor = TargetPredictor(args.conv, args.target, config)
     print(f"training {args.conv}/{args.target} for {args.epochs} epochs...")
-    predictor.fit(bundle)
+    predictor.fit(
+        bundle, runtime=_runtime_from_args(args), resume_from=args.resume_from
+    )
     metrics = predictor.evaluate(bundle.records("test"))
     print(
         f"held-out: R2={metrics['r2']:.3f} MAE={metrics['mae']:.3e} "
@@ -57,6 +82,37 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     predictor.save(args.out)
     print(f"saved model to {args.out}")
+    return 0
+
+
+def _cmd_train_all(args: argparse.Namespace) -> int:
+    from repro.data import ALL_TARGETS, build_bundle
+    from repro.flows import train_all_targets
+    from repro.models import TrainConfig
+
+    if args.targets.strip().lower() == "all":
+        names = [t.name for t in ALL_TARGETS]
+    else:
+        names = [name.strip() for name in args.targets.split(",") if name.strip()]
+    print(f"building dataset (seed={args.seed}, scale={args.scale})...")
+    bundle = build_bundle(seed=args.seed, scale=args.scale)
+    config = TrainConfig(epochs=args.epochs, run_seed=args.seed)
+    mode = (
+        f"{args.workers} worker processes" if args.workers > 1
+        else "shared-input cache"
+    )
+    print(f"training {len(names)} targets ({mode})...")
+    model = train_all_targets(
+        bundle,
+        targets=names,
+        conv=args.conv,
+        config=config,
+        verbose=True,
+        runtime=_runtime_from_args(args),
+        parallel_workers=args.workers,
+    )
+    model.save_dir(args.out_dir)
+    print(f"saved {len(model.predictors)} models to {args.out_dir}")
     return 0
 
 
@@ -114,6 +170,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_dataset.add_argument("--seed", type=int, default=0)
     p_dataset.set_defaults(func=_cmd_dataset)
 
+    def add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--metrics", default=None,
+                                help="append per-epoch metrics to this JSONL file")
+        sub_parser.add_argument("--progress-every", type=int, default=0,
+                                help="print a progress line every N epochs")
+        sub_parser.add_argument("--max-retries", type=int, default=0,
+                                help="re-seeded retries after NaN/Inf divergence")
+        sub_parser.add_argument("--patience", type=int, default=0,
+                                help="early-stop after N epochs without improvement")
+        sub_parser.add_argument("--checkpoint-dir", default=None,
+                                help="write resumable checkpoints here")
+        sub_parser.add_argument("--checkpoint-every", type=int, default=0,
+                                help="checkpoint every N epochs")
+
     p_train = sub.add_parser("train", help="train and save a predictor")
     p_train.add_argument("--target", default="CAP")
     p_train.add_argument("--conv", default="paragraph",
@@ -124,7 +194,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--max-v", type=float, default=None,
                          help="training clamp in farads (CAP models)")
     p_train.add_argument("--out", default="model.npz")
+    p_train.add_argument("--resume-from", default=None,
+                         help="resume training from this checkpoint .npz")
+    add_runtime_args(p_train)
     p_train.set_defaults(func=_cmd_train)
+
+    p_train_all = sub.add_parser(
+        "train-all", help="train one predictor per target and save the suite"
+    )
+    p_train_all.add_argument("--targets", default="all",
+                             help='comma-separated target names, or "all"')
+    p_train_all.add_argument("--conv", default="paragraph",
+                             choices=["paragraph", "sage", "rgcn", "gat", "gcn"])
+    p_train_all.add_argument("--epochs", type=int, default=60)
+    p_train_all.add_argument("--scale", type=float, default=0.2)
+    p_train_all.add_argument("--seed", type=int, default=0)
+    p_train_all.add_argument("--workers", type=int, default=0,
+                             help="train targets in N parallel processes (>= 2)")
+    p_train_all.add_argument("--out-dir", default="models",
+                             help="directory for the per-target .npz files")
+    add_runtime_args(p_train_all)
+    p_train_all.set_defaults(func=_cmd_train_all)
 
     p_predict = sub.add_parser("predict", help="predict targets for a SPICE netlist")
     p_predict.add_argument("--model", required=True)

@@ -11,6 +11,7 @@ capacitances drown in the error of a full-range model (their Fig. 5a).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,13 +47,23 @@ class FeatureScaler:
     def transform(self, graph: HeteroGraph) -> dict[str, np.ndarray]:
         """Scaled feature matrices per node type.
 
-        Node types unseen at fit time fall back to plain log features.
+        Node types unseen at fit time fall back to plain log features —
+        these are on a different scale from the standardised training
+        features, so a :class:`UserWarning` is emitted to flag the
+        train/predict mismatch.
         """
         out: dict[str, np.ndarray] = {}
         for type_name, feats in graph.features.items():
             logged = np.log(feats + _LOG_EPS)
             mean = self.means.get(type_name)
             if mean is None:
+                warnings.warn(
+                    f"node type {type_name!r} was not seen when fitting "
+                    "FeatureScaler; falling back to unstandardised log "
+                    "features, which are on a different scale than the "
+                    "training inputs",
+                    stacklevel=2,
+                )
                 out[type_name] = logged
             else:
                 out[type_name] = (logged - mean) / self.stds[type_name]

@@ -11,6 +11,9 @@ lower model's ceiling.
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
@@ -20,6 +23,7 @@ from repro.data.dataset import CircuitRecord, DatasetBundle
 from repro.data.targets import CAP_TARGET
 from repro.errors import ModelError
 from repro.analysis.metrics import summarize
+from repro.flows.runtime import MergedInputsCache, RuntimeConfig
 from repro.models.trainer import TargetPredictor, TrainConfig
 
 #: Paper §IV range-model ceilings, in farads (plus the full-range model).
@@ -115,25 +119,84 @@ class CapacitanceEnsemble:
             preds.append(pred)
         return np.concatenate(truths), np.concatenate(preds)
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_dir(self, directory: str | os.PathLike) -> None:
+        """Save every member plus an ordering manifest under *directory*.
+
+        Members are written as ``member_NN.npz`` (via
+        :meth:`TargetPredictor.save`, which persists each member's
+        ``max_v``); ``ensemble.json`` records the Algorithm 2 ceiling order
+        so :meth:`load_dir` reassembles the ensemble intact.
+        """
+        if not self.models:
+            raise ModelError("cannot save an empty ensemble")
+        directory = str(directory)
+        os.makedirs(directory, exist_ok=True)
+        manifest = []
+        for i, member in enumerate(self.models):
+            if not hasattr(member.predictor, "save"):
+                raise ModelError(
+                    f"ensemble member {i} ({type(member.predictor).__name__}) "
+                    "does not support save()"
+                )
+            filename = f"member_{i:02d}.npz"
+            member.predictor.save(os.path.join(directory, filename))
+            manifest.append(
+                {
+                    "file": filename,
+                    # JSON has no Infinity: the full-range ceiling is null
+                    "max_v": None if math.isinf(member.max_v) else member.max_v,
+                }
+            )
+        with open(os.path.join(directory, "ensemble.json"), "w") as handle:
+            json.dump({"members": manifest}, handle, indent=2)
+
+    @classmethod
+    def load_dir(cls, directory: str | os.PathLike) -> "CapacitanceEnsemble":
+        """Reassemble an ensemble saved by :meth:`save_dir`."""
+        directory = str(directory)
+        manifest_path = os.path.join(directory, "ensemble.json")
+        if not os.path.exists(manifest_path):
+            raise ModelError(f"{directory!r} is not a saved ensemble")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        models = []
+        for entry in manifest["members"]:
+            predictor = TargetPredictor.load(os.path.join(directory, entry["file"]))
+            ceiling = float("inf") if entry["max_v"] is None else float(entry["max_v"])
+            models.append(RangeModel(max_v=ceiling, predictor=predictor))
+        return cls(models=models)
+
 
 def train_capacitance_ensemble(
     bundle: DatasetBundle,
     conv: str = "paragraph",
     max_vs: Sequence[float] = DEFAULT_MAX_V,
     config: TrainConfig | None = None,
+    runtime: RuntimeConfig | None = None,
+    inputs_cache: MergedInputsCache | None = None,
 ) -> CapacitanceEnsemble:
     """Train the range models plus the full-range model and assemble them.
 
     Each member reuses *config* but overrides ``max_v``; the full-range
-    member (ceiling inf) trains unclamped.
+    member (ceiling inf) trains unclamped.  All members train on the same
+    node population, so the merged training inputs are built once and
+    shared through a :class:`MergedInputsCache`.
     """
     base = config or TrainConfig()
+    cache = inputs_cache if inputs_cache is not None else MergedInputsCache()
     members: list[RangeModel] = []
     for ceiling in sorted(max_vs):
         cfg = TrainConfig(**{**base.__dict__, "max_v": ceiling})
-        predictor = TargetPredictor(conv, "CAP", cfg).fit(bundle)
+        predictor = TargetPredictor(conv, "CAP", cfg).fit(
+            bundle, runtime=runtime, inputs_cache=cache
+        )
         members.append(RangeModel(max_v=ceiling, predictor=predictor))
     full_cfg = TrainConfig(**{**base.__dict__, "max_v": None})
-    full = TargetPredictor(conv, "CAP", full_cfg).fit(bundle)
+    full = TargetPredictor(conv, "CAP", full_cfg).fit(
+        bundle, runtime=runtime, inputs_cache=cache
+    )
     members.append(RangeModel(max_v=float("inf"), predictor=full))
     return CapacitanceEnsemble(models=members)

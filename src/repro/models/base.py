@@ -33,7 +33,9 @@ class GNNRegressor(Module):
         Convolution depth L (paper: 5).
     num_fc_layers:
         Readout depth (paper: 4 for CAP, 2 for device parameters); all
-        hidden FC layers have width F, the last has 1 output.
+        hidden FC layers have width F, the last has 1 output.  ``0`` means
+        a purely linear readout (a single F -> 1 projection, no hidden
+        nonlinearity).
     edge_types:
         Edge types to allocate relational weights for; defaults to every
         type the graph builder can emit.
@@ -55,8 +57,8 @@ class GNNRegressor(Module):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
-        if num_fc_layers < 1:
-            raise ValueError("num_fc_layers must be >= 1")
+        if num_fc_layers < 0:
+            raise ValueError("num_fc_layers must be >= 0")
         self.conv_name = conv
         self.embed_dim = embed_dim
         edge_types = list(edge_types) if edge_types is not None else all_edge_type_names()
@@ -65,9 +67,11 @@ class GNNRegressor(Module):
             make_conv(conv, embed_dim, edge_types, rng, **(conv_kwargs or {}))
             for _ in range(num_layers)
         ]
-        self.readout = MLP(
-            [embed_dim] * num_fc_layers + [1], rng, activation="relu"
+        readout_dims = (
+            [embed_dim, 1] if num_fc_layers == 0
+            else [embed_dim] * num_fc_layers + [1]
         )
+        self.readout = MLP(readout_dims, rng, activation="relu")
 
     def embed(self, inputs: GraphInputs) -> Tensor:
         """Node embeddings Z after all convolution layers (Algorithm 1)."""

@@ -10,7 +10,9 @@ of ensemble modeling.
 from __future__ import annotations
 
 import json
+import math
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,13 +27,23 @@ from repro.data.normalize import (
 )
 from repro.data.targets import TargetSpec, target_by_name
 from repro.errors import ModelError
+from repro.flows.runtime import (
+    CallbackList,
+    ConsoleProgressReporter,
+    EpochMetrics,
+    MergedInputsCache,
+    RuntimeConfig,
+    TrainContext,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.graph.features import feature_dim
 from repro.graph.hetero import merge_graphs
 from repro.analysis.metrics import summarize
 from repro.circuits.devices import NODE_TYPES
 from repro.models.base import GNNRegressor
 from repro.models.inputs import GraphInputs
-from repro.nn import Adam, Tensor, mse_loss, no_grad
+from repro.nn import Adam, Tensor, global_grad_norm, mse_loss, no_grad
 from repro.rng import stream
 
 
@@ -61,9 +73,21 @@ class TrainConfig:
 
 @dataclass
 class TrainHistory:
-    """Per-epoch training losses."""
+    """Per-epoch training instrumentation.
+
+    ``losses`` keeps its historical meaning (one entry per completed
+    epoch); ``grad_norms`` and ``epoch_seconds`` run parallel to it.
+    ``attempts`` counts training attempts including divergence retries,
+    and ``resumed_from`` is the epoch a checkpoint resume continued from
+    (0 for a fresh run).
+    """
 
     losses: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+    attempts: int = 1
+    stopped_early: bool = False
+    resumed_from: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -112,13 +136,52 @@ class TargetPredictor:
         self.target_scaler: TargetScaler | None = None
         self.history = TrainHistory()
         self._scaler = None  # feature scaler, captured from the bundle at fit
+        self._fc_layers: int | None = None  # readout depth resolved at fit
 
     # ------------------------------------------------------------------
-    def fit(self, bundle: DatasetBundle) -> "TargetPredictor":
-        """Train on the bundle's train split; returns self."""
+    def fit(
+        self,
+        bundle: DatasetBundle,
+        *,
+        runtime: RuntimeConfig | None = None,
+        inputs_cache: MergedInputsCache | None = None,
+        resume_from: str | os.PathLike | None = None,
+    ) -> "TargetPredictor":
+        """Train on the bundle's train split; returns self.
+
+        Parameters
+        ----------
+        runtime:
+            Instrumentation and robustness knobs (callbacks, divergence
+            retries, early stopping, checkpointing).  Defaults preserve the
+            historical behaviour: plain full-length training.
+        inputs_cache:
+            A shared :class:`MergedInputsCache`; when several predictors
+            train on the same bundle this avoids re-merging the training
+            graphs per target.
+        resume_from:
+            Path of a checkpoint written by a previous ``fit`` of the same
+            conv/target; training continues from its epoch counter with the
+            exact optimizer state, reproducing the uninterrupted run
+            bit-for-bit.
+        """
         cfg = self.config
+        rt = runtime or RuntimeConfig()
+        callbacks = rt.build_callbacks()
+        if cfg.log_every and not any(
+            isinstance(cb, ConsoleProgressReporter) for cb in callbacks
+        ):
+            # legacy knob: route the old ad-hoc print through the reporter
+            callbacks.append(ConsoleProgressReporter(every=cfg.log_every))
+        emit = CallbackList(callbacks)
+
         records = bundle.records("train")
-        inputs, ids, values = _merged_inputs(records, bundle, self.spec)
+        if inputs_cache is not None:
+            inputs, ids, values = inputs_cache.merged_target(
+                records, bundle.scaler, self.spec
+            )
+        else:
+            inputs, ids, values = _merged_inputs(records, bundle, self.spec)
         if len(ids) == 0:
             raise ModelError(f"no training samples for target {self.spec.name}")
 
@@ -128,56 +191,168 @@ class TargetPredictor:
                 raise ModelError(
                     f"max_v={cfg.max_v} removed every training sample"
                 )
+            # boolean indexing copies, so cached arrays stay untouched
             ids, values = ids[keep], values[keep]
 
+        # An explicit num_fc_layers (including 0 = linear readout) is always
+        # honoured; only None falls back to the paper depths.
         if self.spec.name == "CAP":
             # CAP must train linearly: the SIV ensemble phenomenon (Fig. 5)
             # depends on small values drowning in a full-range model's error.
             scale = cfg.max_v if cfg.max_v is not None else float(values.max())
             self.target_scaler = TargetScaler(scale)
-            fc_layers = cfg.num_fc_layers or 4
+            default_fc = 4
         elif self.spec.kind == "net":
             # other net targets (RES extension) span decades with no
             # ensemble semantics: log space keeps small nets accurate
             self.target_scaler = log_scaler_from_values(values)
-            fc_layers = cfg.num_fc_layers or 4
+            default_fc = 4
         elif cfg.log_device_targets:
             self.target_scaler = log_scaler_from_values(values)
-            fc_layers = cfg.num_fc_layers or 2
+            default_fc = 2
         else:
             self.target_scaler = scaler_from_std(values)
-            fc_layers = cfg.num_fc_layers or 2
-
-        rng = stream(cfg.run_seed, "model", self.conv, self.spec.name)
-        self.model = GNNRegressor(
-            conv=self.conv,
-            feature_dims={t: feature_dim(t) for t in NODE_TYPES},
-            rng=rng,
-            embed_dim=cfg.embed_dim,
-            num_layers=cfg.num_layers,
-            num_fc_layers=fc_layers,
-            conv_kwargs=cfg.conv_kwargs,
-        )
+            default_fc = 2
+        fc_layers = cfg.num_fc_layers if cfg.num_fc_layers is not None else default_fc
+        conv_kwargs = cfg.conv_kwargs if cfg.conv_kwargs is not None else {}
+        self._fc_layers = fc_layers
         self._scaler = bundle.scaler
 
         targets = Tensor(self.target_scaler.transform(values).reshape(-1, 1))
-        optimizer = Adam(
-            self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay
-        )
-        self.history = TrainHistory()
-        for epoch in range(cfg.epochs):
-            optimizer.zero_grad()
-            pred = self.model(inputs, ids)
-            loss = mse_loss(pred, targets)
-            loss.backward()
-            optimizer.step()
-            self.history.losses.append(loss.item())
-            if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
-                print(
-                    f"[{self.conv}/{self.spec.name}] epoch {epoch + 1}: "
-                    f"loss={loss.item():.5f}"
+        checkpoint = load_checkpoint(resume_from) if resume_from is not None else None
+        if checkpoint is not None:
+            ck_conv = checkpoint.meta.get("conv")
+            ck_target = checkpoint.meta.get("target")
+            if ck_conv != self.conv or ck_target != self.spec.name:
+                raise ModelError(
+                    f"checkpoint was written for {ck_conv}/{ck_target}, "
+                    f"cannot resume {self.conv}/{self.spec.name}"
                 )
-        return self
+
+        last_reason = "training diverged"
+        for attempt in range(rt.max_retries + 1):
+            # Re-seeded retries draw from a fresh named substream so a
+            # diverged initialisation is never replayed.
+            seed_path = ["model", self.conv, self.spec.name]
+            if attempt:
+                seed_path += ["retry", attempt]
+            rng = stream(cfg.run_seed, *seed_path)
+            model = GNNRegressor(
+                conv=self.conv,
+                feature_dims={t: feature_dim(t) for t in NODE_TYPES},
+                rng=rng,
+                embed_dim=cfg.embed_dim,
+                num_layers=cfg.num_layers,
+                num_fc_layers=fc_layers,
+                conv_kwargs=conv_kwargs,
+            )
+            optimizer = Adam(
+                model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay
+            )
+            params = optimizer.params
+            history = TrainHistory(attempts=attempt + 1)
+            start_epoch = 0
+            if checkpoint is not None and attempt == 0:
+                model.load_state_dict(checkpoint.params)
+                optimizer.load_state_dict(checkpoint.optimizer_state)
+                start_epoch = checkpoint.epoch
+                history.losses = list(checkpoint.losses)
+                history.grad_norms = list(checkpoint.grad_norms)
+                history.epoch_seconds = [float("nan")] * start_epoch
+                history.resumed_from = start_epoch
+
+            ctx = TrainContext(
+                conv=self.conv,
+                target=self.spec.name,
+                total_epochs=cfg.epochs,
+                attempt=attempt,
+                run_seed=cfg.run_seed,
+                predictor=self,
+                model=model,
+            )
+            emit.on_train_start(ctx)
+
+            diverged = None
+            best_loss = min(history.losses) if history.losses else math.inf
+            epochs_since_best = 0
+            for epoch in range(start_epoch, cfg.epochs):
+                tick = time.perf_counter()
+                optimizer.zero_grad()
+                pred = model(inputs, ids)
+                loss = mse_loss(pred, targets)
+                loss_value = loss.item()
+                if not math.isfinite(loss_value):
+                    diverged = f"non-finite loss {loss_value}"
+                else:
+                    loss.backward()
+                    grad_norm = global_grad_norm(params)
+                    if not math.isfinite(grad_norm):
+                        diverged = f"non-finite gradient norm {grad_norm}"
+                if diverged is not None:
+                    emit.on_divergence(ctx, epoch + 1, diverged)
+                    break
+                optimizer.step()
+                seconds = time.perf_counter() - tick
+                history.losses.append(loss_value)
+                history.grad_norms.append(grad_norm)
+                history.epoch_seconds.append(seconds)
+                emit.on_epoch_end(
+                    ctx,
+                    EpochMetrics(
+                        epoch=epoch + 1,
+                        loss=loss_value,
+                        grad_norm=grad_norm,
+                        lr=optimizer.lr,
+                        seconds=seconds,
+                        attempt=attempt,
+                    ),
+                )
+                if (
+                    rt.checkpoint_dir
+                    and rt.checkpoint_every
+                    and (epoch + 1) % rt.checkpoint_every == 0
+                ):
+                    path = save_checkpoint(
+                        os.path.join(
+                            rt.checkpoint_dir,
+                            f"{self.conv}-{self.spec.name}-epoch{epoch + 1:05d}.npz",
+                        ),
+                        model,
+                        optimizer,
+                        epoch=epoch + 1,
+                        attempt=attempt,
+                        losses=history.losses,
+                        grad_norms=history.grad_norms,
+                        meta={
+                            "conv": self.conv,
+                            "target": self.spec.name,
+                            "run_seed": cfg.run_seed,
+                            "epochs": cfg.epochs,
+                        },
+                    )
+                    emit.on_checkpoint(ctx, path)
+                if rt.patience:
+                    if loss_value < best_loss - rt.min_delta:
+                        best_loss = loss_value
+                        epochs_since_best = 0
+                    else:
+                        epochs_since_best += 1
+                        if epochs_since_best >= rt.patience:
+                            history.stopped_early = True
+                            break
+
+            if diverged is None:
+                self.model = model
+                self.history = history
+                emit.on_train_end(ctx, history)
+                return self
+            last_reason = diverged
+            checkpoint = None  # a diverged lineage is not worth resuming
+
+        raise ModelError(
+            f"training {self.conv}/{self.spec.name} diverged after "
+            f"{rt.max_retries + 1} attempt(s): {last_reason}"
+        )
 
     # ------------------------------------------------------------------
     def _require_fit(self) -> GNNRegressor:
@@ -294,10 +469,15 @@ class TargetPredictor:
     def save(self, path: str | os.PathLike) -> None:
         """Write the trained model (weights + both scalers + config) to .npz."""
         model = self._require_fit()
+        cfg = self.config
         payload: dict[str, np.ndarray] = {
             f"param/{name}": value for name, value in model.state_dict().items()
         }
-        fc_layers = len(model.readout.layers)
+        fc_layers = (
+            self._fc_layers
+            if self._fc_layers is not None
+            else len(model.readout.layers)
+        )
         meta = {
             "conv": self.conv,
             "target": self.spec.name,
@@ -305,11 +485,22 @@ class TargetPredictor:
             "scaler_kind": (
                 "log" if isinstance(self.target_scaler, LogTargetScaler) else "linear"
             ),
-            "embed_dim": self.config.embed_dim,
-            "num_layers": self.config.num_layers,
+            "embed_dim": cfg.embed_dim,
+            "num_layers": cfg.num_layers,
             "num_fc_layers": fc_layers,
-            "conv_kwargs": self.config.conv_kwargs,
+            "conv_kwargs": cfg.conv_kwargs or {},
+            # Training provenance that load() must restore: without max_v a
+            # reloaded CAP range model loses its ceiling and a saved §IV
+            # ensemble cannot be reassembled.
+            "max_v": cfg.max_v,
+            "weight_decay": cfg.weight_decay,
+            "log_device_targets": cfg.log_device_targets,
+            "epochs": cfg.epochs,
+            "lr": cfg.lr,
+            "run_seed": cfg.run_seed,
         }
+        if isinstance(self.target_scaler, LogTargetScaler):
+            meta["target_scaler_floor"] = self.target_scaler.floor
         payload["meta"] = np.array(json.dumps(meta))
         for type_name, mean in self._scaler.means.items():
             payload[f"fmean/{type_name}"] = mean
@@ -321,6 +512,7 @@ class TargetPredictor:
         """Load a predictor saved by :meth:`save`; ready for prediction."""
         with np.load(path) as archive:
             meta = json.loads(str(archive["meta"]))
+            base_cfg = TrainConfig()
             predictor = cls(
                 conv=meta["conv"],
                 target=meta["target"],
@@ -328,9 +520,18 @@ class TargetPredictor:
                     embed_dim=meta["embed_dim"],
                     num_layers=meta["num_layers"],
                     num_fc_layers=meta["num_fc_layers"],
-                    conv_kwargs=meta.get("conv_kwargs", {}),
+                    conv_kwargs=meta.get("conv_kwargs") or {},
+                    max_v=meta.get("max_v"),
+                    weight_decay=meta.get("weight_decay", base_cfg.weight_decay),
+                    log_device_targets=meta.get(
+                        "log_device_targets", base_cfg.log_device_targets
+                    ),
+                    epochs=meta.get("epochs", base_cfg.epochs),
+                    lr=meta.get("lr", base_cfg.lr),
+                    run_seed=meta.get("run_seed", base_cfg.run_seed),
                 ),
             )
+            predictor._fc_layers = meta["num_fc_layers"]
             rng = stream(0, "model", predictor.conv, predictor.spec.name)
             predictor.model = GNNRegressor(
                 conv=predictor.conv,
@@ -339,7 +540,7 @@ class TargetPredictor:
                 embed_dim=meta["embed_dim"],
                 num_layers=meta["num_layers"],
                 num_fc_layers=meta["num_fc_layers"],
-                conv_kwargs=meta.get("conv_kwargs", {}),
+                conv_kwargs=meta.get("conv_kwargs") or {},
             )
             predictor.model.load_state_dict(
                 {
@@ -349,7 +550,12 @@ class TargetPredictor:
                 }
             )
             if meta.get("scaler_kind") == "log":
-                predictor.target_scaler = LogTargetScaler(float(meta["target_scale"]))
+                predictor.target_scaler = LogTargetScaler(
+                    float(meta["target_scale"]),
+                    floor=float(
+                        meta.get("target_scaler_floor", LogTargetScaler(1.0).floor)
+                    ),
+                )
             else:
                 predictor.target_scaler = TargetScaler(float(meta["target_scale"]))
             scaler = FeatureScaler()

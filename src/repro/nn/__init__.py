@@ -34,6 +34,7 @@ from repro.nn.optim import (
     RMSprop,
     StepLR,
     clip_grad_norm,
+    global_grad_norm,
 )
 from repro.nn.serialize import load_module, save_module
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
@@ -66,6 +67,7 @@ __all__ = [
     "RMSprop",
     "StepLR",
     "clip_grad_norm",
+    "global_grad_norm",
     "load_module",
     "save_module",
     "Tensor",

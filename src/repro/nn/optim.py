@@ -28,6 +28,52 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # State serialization (checkpoint/resume support)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy the optimiser's internal state as named arrays.
+
+        Subclasses with per-parameter slots (momentum, Adam moments)
+        override :meth:`_state_slots`; parameter order is the registration
+        order, which is deterministic for :class:`~repro.nn.module.Module`.
+        """
+        state: dict[str, np.ndarray] = {}
+        for slot_name, slot in self._state_slots().items():
+            if isinstance(slot, list):
+                for i, array in enumerate(slot):
+                    state[f"{slot_name}.{i}"] = np.array(array, copy=True)
+            else:
+                state[slot_name] = np.asarray(slot, dtype=np.float64)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict` (exact round-trip)."""
+        for slot_name, slot in self._state_slots().items():
+            if isinstance(slot, list):
+                for i, array in enumerate(slot):
+                    key = f"{slot_name}.{i}"
+                    if key not in state:
+                        raise KeyError(f"missing optimizer state {key!r}")
+                    incoming = np.asarray(state[key], dtype=np.float64)
+                    if incoming.shape != array.shape:
+                        raise ValueError(
+                            f"shape mismatch for optimizer state {key!r}: "
+                            f"expected {array.shape}, got {incoming.shape}"
+                        )
+                    array[...] = incoming
+            else:
+                if slot_name not in state:
+                    raise KeyError(f"missing optimizer state {slot_name!r}")
+                self._set_scalar_slot(slot_name, state[slot_name])
+
+    def _state_slots(self) -> dict[str, "list[np.ndarray] | float | int"]:
+        """Named internal state; stateless optimisers have none."""
+        return {}
+
+    def _set_scalar_slot(self, name: str, value: np.ndarray) -> None:
+        raise KeyError(f"unknown scalar optimizer state {name!r}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -57,6 +103,9 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data = param.data - self.lr * grad
+
+    def _state_slots(self):
+        return {"velocity": self._velocity}
 
 
 class RMSprop(Optimizer):
@@ -95,6 +144,18 @@ class RMSprop(Optimizer):
                 velocity += update
                 update = velocity
             param.data = param.data - self.lr * update
+
+    def _state_slots(self):
+        return {"sq": self._sq, "velocity": self._velocity}
+
+
+def global_grad_norm(params: Sequence[Parameter]) -> float:
+    """Global L2 norm of all parameter gradients (``None`` grads skipped)."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float((param.grad**2).sum())
+    return total**0.5
 
 
 def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
@@ -199,3 +260,12 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _state_slots(self):
+        return {"step_count": self._step_count, "m": self._m, "v": self._v}
+
+    def _set_scalar_slot(self, name: str, value: np.ndarray) -> None:
+        if name == "step_count":
+            self._step_count = int(np.asarray(value).item())
+        else:
+            super()._set_scalar_slot(name, value)

@@ -19,6 +19,7 @@ reproduction that is fast enough and makes gradient checks tight.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
@@ -27,24 +28,30 @@ from repro.errors import ShapeError
 
 ArrayLike = "np.ndarray | float | int | list | tuple | Tensor"
 
-_grad_enabled = True
+# The grad-enabled flag is thread-local: a no_grad() block on one thread
+# (e.g. prediction inside a callback) must not disable graph construction
+# for training loops running concurrently on other threads.
+_grad_state = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
-    """Context manager that disables graph construction (inference mode)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    """Context manager that disables graph construction (inference mode).
+
+    The flag is per-thread, so concurrent training/inference threads do not
+    race on it.
+    """
+    previous = is_grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_state.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return True when operations record the autodiff graph."""
-    return _grad_enabled
+    """Return True when operations record the autodiff graph (this thread)."""
+    return getattr(_grad_state, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -132,7 +139,7 @@ class Tensor:
     ) -> "Tensor":
         parents = tuple(parents)
         out = Tensor(data)
-        if _grad_enabled and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
             out._backward = backward

@@ -116,13 +116,20 @@ class TestFeatureScaler:
         with pytest.raises(DatasetError):
             FeatureScaler().fit([])
 
-    def test_unseen_type_falls_back_to_log(self, tiny_bundle):
+    def test_unseen_type_falls_back_to_log_with_warning(self, tiny_bundle):
         scaler = FeatureScaler()
         graphs = [r.graph for r in tiny_bundle.records("train")]
         scaler.fit(graphs)
         scaler.means.pop(dev.NET, None)
-        out = scaler.transform(graphs[0])
+        with pytest.warns(UserWarning, match="not seen when fitting"):
+            out = scaler.transform(graphs[0])
         assert np.isfinite(out[dev.NET]).all()
+
+    def test_seen_types_transform_silently(self, tiny_bundle, recwarn):
+        graphs = [r.graph for r in tiny_bundle.records("train")]
+        scaler = FeatureScaler().fit(graphs)
+        scaler.transform(graphs[0])
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
 
 
 class TestTargetScaler:

@@ -152,3 +152,57 @@ class TestTrainedEnsemble:
     def test_evaluate_keys(self, trained, tiny_bundle):
         metrics = trained.evaluate(tiny_bundle.records("test"))
         assert set(metrics) == {"r2", "mae", "mape"}
+
+
+class TestEnsemblePersistence:
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_bundle):
+        return train_capacitance_ensemble(
+            tiny_bundle,
+            max_vs=(1e-15, 10e-15),
+            config=TrainConfig(epochs=6, embed_dim=8, num_layers=2, run_seed=0),
+        )
+
+    def test_roundtrip_predictions_identical(self, trained, tiny_bundle, tmp_path):
+        directory = tmp_path / "ensemble"
+        trained.save_dir(directory)
+        loaded = CapacitanceEnsemble.load_dir(directory)
+        record = tiny_bundle.records("test")[0]
+        ids_a, a = trained.predict(record)
+        ids_b, b = loaded.predict(record)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_allclose(a, b)
+
+    def test_ceilings_and_max_v_restored(self, trained, tiny_bundle, tmp_path):
+        directory = tmp_path / "ensemble"
+        trained.save_dir(directory)
+        loaded = CapacitanceEnsemble.load_dir(directory)
+        assert [m.max_v for m in loaded.models] == [1e-15, 10e-15, float("inf")]
+        # each member's training ceiling survives (None = full range)
+        assert [m.predictor.config.max_v for m in loaded.models] == [
+            1e-15, 10e-15, None,
+        ]
+
+    def test_manifest_lists_members_in_order(self, trained, tmp_path):
+        import json
+
+        directory = tmp_path / "ensemble"
+        trained.save_dir(directory)
+        with open(directory / "ensemble.json") as handle:
+            manifest = json.load(handle)
+        assert [m["max_v"] for m in manifest["members"]] == [1e-15, 10e-15, None]
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ModelError):
+            CapacitanceEnsemble.load_dir(tmp_path)
+
+    def test_save_empty_ensemble_raises(self, tmp_path):
+        with pytest.raises(ModelError):
+            CapacitanceEnsemble(models=[]).save_dir(tmp_path / "x")
+
+    def test_save_unsaveable_member_raises(self, tmp_path):
+        ens = CapacitanceEnsemble(
+            models=[RangeModel(float("inf"), _FakePredictor([1.0]))]
+        )
+        with pytest.raises(ModelError):
+            ens.save_dir(tmp_path / "x")

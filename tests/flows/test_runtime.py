@@ -1,0 +1,294 @@
+"""Tests for the training runtime: caching, instrumentation, fault tolerance."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.ensemble import train_capacitance_ensemble
+from repro.errors import ModelError
+from repro.flows import train_all_targets
+from repro.flows.runtime import (
+    ConsoleProgressReporter,
+    JsonlMetricsWriter,
+    MergedInputsCache,
+    RuntimeConfig,
+    TrainCallback,
+    load_checkpoint,
+)
+from repro.models import TargetPredictor, TrainConfig
+
+
+def _quick_config(**kwargs):
+    defaults = dict(epochs=6, embed_dim=8, num_layers=2, run_seed=0)
+    defaults.update(kwargs)
+    return TrainConfig(**defaults)
+
+
+class TestMergedInputsCache:
+    def test_multi_target_training_merges_once(self, tiny_bundle, monkeypatch):
+        import repro.flows.runtime as runtime_mod
+
+        calls = {"merge": 0}
+        real_merge = runtime_mod.merge_graphs
+
+        def counting_merge(graphs):
+            calls["merge"] += 1
+            return real_merge(graphs)
+
+        monkeypatch.setattr(runtime_mod, "merge_graphs", counting_merge)
+        cache = MergedInputsCache()
+        train_all_targets(
+            tiny_bundle,
+            targets=("CAP", "SA", "RES"),
+            config=_quick_config(epochs=2),
+            inputs_cache=cache,
+        )
+        # One node population (the train split) -> exactly one merge.
+        assert calls["merge"] == 1
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_ensemble_training_shares_inputs(self, tiny_bundle):
+        cache = MergedInputsCache()
+        train_capacitance_ensemble(
+            tiny_bundle,
+            max_vs=(1e-15,),
+            config=_quick_config(epochs=2),
+            inputs_cache=cache,
+        )
+        # 2 members (1 range + full) over one population: 1 miss, 1 hit.
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_cached_fit_matches_uncached(self, tiny_bundle):
+        plain = TargetPredictor("paragraph", "CAP", _quick_config()).fit(tiny_bundle)
+        cached = TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+            tiny_bundle, inputs_cache=MergedInputsCache()
+        )
+        record = tiny_bundle.records("test")[0]
+        _, a = plain.predict(record)
+        _, b = cached.predict(record)
+        np.testing.assert_array_equal(a, b)
+
+    def test_max_v_filter_does_not_corrupt_cache(self, tiny_bundle):
+        cache = MergedInputsCache()
+        clamped = TargetPredictor(
+            "paragraph", "CAP", _quick_config(max_v=1e-15)
+        ).fit(tiny_bundle, inputs_cache=cache)
+        full = TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+            tiny_bundle, inputs_cache=cache
+        )
+        assert clamped.target_scaler.scale == 1e-15
+        # the full model's scale comes from the unfiltered values
+        assert full.target_scaler.scale > 1e-15
+
+
+class TestInstrumentation:
+    def test_history_records_all_series(self, tiny_bundle):
+        predictor = TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+            tiny_bundle
+        )
+        history = predictor.history
+        assert len(history.losses) == 6
+        assert len(history.grad_norms) == 6
+        assert len(history.epoch_seconds) == 6
+        assert all(g > 0 for g in history.grad_norms)
+        assert all(s > 0 for s in history.epoch_seconds)
+        assert history.attempts == 1
+        assert not history.stopped_early
+
+    def test_jsonl_metrics_writer(self, tiny_bundle, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        rt = RuntimeConfig(metrics_jsonl=str(path))
+        TargetPredictor("paragraph", "CAP", _quick_config(epochs=3)).fit(
+            tiny_bundle, runtime=rt
+        )
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        events = [row["event"] for row in rows]
+        assert events[0] == "start"
+        assert events.count("epoch") == 3
+        assert events[-1] == "end"
+        epoch_rows = [row for row in rows if row["event"] == "epoch"]
+        assert [row["epoch"] for row in epoch_rows] == [1, 2, 3]
+        for row in epoch_rows:
+            assert row["target"] == "CAP"
+            assert math.isfinite(row["loss"])
+            assert math.isfinite(row["grad_norm"])
+            assert row["seconds"] > 0
+        assert rows[-1]["epochs_run"] == 3
+
+    def test_console_reporter_prints(self, tiny_bundle, capsys):
+        rt = RuntimeConfig(progress_every=2)
+        TargetPredictor("paragraph", "CAP", _quick_config(epochs=4)).fit(
+            tiny_bundle, runtime=rt
+        )
+        out = capsys.readouterr().out
+        assert "epoch 2/4" in out
+        assert "epoch 4/4" in out
+        assert "done:" in out
+
+    def test_legacy_log_every_still_prints(self, tiny_bundle, capsys):
+        TargetPredictor(
+            "paragraph", "CAP", _quick_config(epochs=4, log_every=2)
+        ).fit(tiny_bundle)
+        assert "epoch 2/4" in capsys.readouterr().out
+
+    def test_console_reporter_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            ConsoleProgressReporter(every=0)
+
+
+class _PoisonAtEpoch(TrainCallback):
+    """Inject NaN into the model weights at a given epoch of attempt 0."""
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.divergences = []
+
+    def on_epoch_end(self, ctx, metrics):
+        if ctx.attempt == 0 and metrics.epoch == self.epoch:
+            ctx.model.parameters()[0].data[...] = np.nan
+
+    def on_divergence(self, ctx, epoch, reason):
+        self.divergences.append((ctx.attempt, epoch, reason))
+
+
+class TestDivergenceGuard:
+    def test_nan_loss_triggers_reseeded_retry(self, tiny_bundle):
+        poison = _PoisonAtEpoch(epoch=2)
+        rt = RuntimeConfig(callbacks=[poison], max_retries=2)
+        predictor = TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+            tiny_bundle, runtime=rt
+        )
+        assert poison.divergences and poison.divergences[0][0] == 0
+        assert "non-finite" in poison.divergences[0][2]
+        assert predictor.history.attempts == 2
+        assert len(predictor.history.losses) == 6
+        assert all(math.isfinite(x) for x in predictor.history.losses)
+
+    def test_retry_uses_fresh_seed(self, tiny_bundle):
+        baseline = TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+            tiny_bundle
+        )
+        poison = _PoisonAtEpoch(epoch=1)
+        retried = TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+            tiny_bundle, runtime=RuntimeConfig(callbacks=[poison], max_retries=1)
+        )
+        record = tiny_bundle.records("test")[0]
+        _, a = baseline.predict(record)
+        _, b = retried.predict(record)
+        # The retried attempt initialised from a different substream.
+        assert not np.array_equal(a, b)
+
+    def test_exhausted_retries_raise(self, tiny_bundle):
+        class _AlwaysPoison(TrainCallback):
+            def on_epoch_end(self, ctx, metrics):
+                ctx.model.parameters()[0].data[...] = np.nan
+
+        rt = RuntimeConfig(callbacks=[_AlwaysPoison()], max_retries=1)
+        with pytest.raises(ModelError, match="diverged"):
+            TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+                tiny_bundle, runtime=rt
+            )
+
+
+class TestEarlyStopping:
+    def test_plateau_stops_training(self, tiny_bundle):
+        rt = RuntimeConfig(patience=2, min_delta=1e9)  # nothing ever improves
+        predictor = TargetPredictor(
+            "paragraph", "CAP", _quick_config(epochs=50)
+        ).fit(tiny_bundle, runtime=rt)
+        assert predictor.history.stopped_early
+        assert len(predictor.history.losses) < 50
+
+    def test_disabled_by_default(self, tiny_bundle):
+        predictor = TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+            tiny_bundle
+        )
+        assert not predictor.history.stopped_early
+        assert len(predictor.history.losses) == 6
+
+
+class TestCheckpointResume:
+    def test_resume_reproduces_uninterrupted_run_bitwise(self, tiny_bundle, tmp_path):
+        full = TargetPredictor("paragraph", "CAP", _quick_config(epochs=8)).fit(
+            tiny_bundle
+        )
+
+        rt = RuntimeConfig(checkpoint_dir=str(tmp_path), checkpoint_every=4)
+        TargetPredictor("paragraph", "CAP", _quick_config(epochs=4)).fit(
+            tiny_bundle, runtime=rt
+        )
+        ckpt = tmp_path / "paragraph-CAP-epoch00004.npz"
+        assert ckpt.exists()
+
+        resumed = TargetPredictor("paragraph", "CAP", _quick_config(epochs=8)).fit(
+            tiny_bundle, resume_from=ckpt
+        )
+        full_state = full.model.state_dict()
+        resumed_state = resumed.model.state_dict()
+        assert set(full_state) == set(resumed_state)
+        for name in full_state:
+            np.testing.assert_array_equal(full_state[name], resumed_state[name])
+        assert resumed.history.losses == full.history.losses
+        assert resumed.history.resumed_from == 4
+
+    def test_checkpoint_contains_optimizer_state(self, tiny_bundle, tmp_path):
+        rt = RuntimeConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2)
+        TargetPredictor("paragraph", "CAP", _quick_config(epochs=2)).fit(
+            tiny_bundle, runtime=rt
+        )
+        checkpoint = load_checkpoint(tmp_path / "paragraph-CAP-epoch00002.npz")
+        assert checkpoint.epoch == 2
+        assert checkpoint.losses and len(checkpoint.losses) == 2
+        assert any(key.startswith("m.") for key in checkpoint.optimizer_state)
+        assert any(key.startswith("v.") for key in checkpoint.optimizer_state)
+        assert int(checkpoint.optimizer_state["step_count"]) == 2
+
+    def test_resume_wrong_target_rejected(self, tiny_bundle, tmp_path):
+        rt = RuntimeConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2)
+        TargetPredictor("paragraph", "CAP", _quick_config(epochs=2)).fit(
+            tiny_bundle, runtime=rt
+        )
+        with pytest.raises(ModelError, match="cannot resume"):
+            TargetPredictor("paragraph", "SA", _quick_config(epochs=4)).fit(
+                tiny_bundle, resume_from=tmp_path / "paragraph-CAP-epoch00002.npz"
+            )
+
+    def test_missing_checkpoint_rejected(self, tiny_bundle, tmp_path):
+        with pytest.raises(ModelError, match="does not exist"):
+            TargetPredictor("paragraph", "CAP", _quick_config()).fit(
+                tiny_bundle, resume_from=tmp_path / "nope.npz"
+            )
+
+
+class TestParallelTraining:
+    def test_two_workers_match_serial(self, tiny_bundle):
+        cfg = _quick_config(epochs=3)
+        serial = train_all_targets(
+            tiny_bundle, targets=("CAP", "SA"), config=cfg
+        )
+        parallel = train_all_targets(
+            tiny_bundle, targets=("CAP", "SA"), config=cfg, parallel_workers=2
+        )
+        assert set(parallel.predictors) == {"CAP", "SA"}
+        record = tiny_bundle.records("test")[0]
+        for name in ("CAP", "SA"):
+            _, a = serial.predictor(name).predict(record)
+            _, b = parallel.predictor(name).predict(record)
+            np.testing.assert_array_equal(a, b)
+
+    def test_parallel_with_picklable_metrics_writer(self, tiny_bundle, tmp_path):
+        path = tmp_path / "parallel.jsonl"
+        rt = RuntimeConfig(callbacks=[JsonlMetricsWriter(str(path))])
+        train_all_targets(
+            tiny_bundle,
+            targets=("CAP", "SA"),
+            config=_quick_config(epochs=2),
+            runtime=rt,
+            parallel_workers=2,
+        )
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {row["target"] for row in rows} == {"CAP", "SA"}

@@ -62,6 +62,54 @@ class TestSaveLoad:
         _, b = loaded.predict(record)
         np.testing.assert_allclose(a, b)
 
+    def test_max_v_restored(self, tiny_bundle, tmp_path):
+        """Regression: a reloaded CAP range model must keep its §IV ceiling,
+        otherwise a saved ensemble cannot be reassembled."""
+        config = TrainConfig(epochs=4, embed_dim=8, num_layers=2, max_v=1e-15)
+        predictor = TargetPredictor("paragraph", "CAP", config).fit(tiny_bundle)
+        path = tmp_path / "range.npz"
+        predictor.save(path)
+        loaded = TargetPredictor.load(path)
+        assert loaded.config.max_v == 1e-15
+        assert loaded.target_scaler.scale == 1e-15
+
+    def test_training_config_restored(self, tiny_bundle, tmp_path):
+        """Regression: weight_decay / log_device_targets used to be dropped
+        by load(), so a reloaded model retrained differently."""
+        config = TrainConfig(
+            epochs=4, embed_dim=8, num_layers=2,
+            weight_decay=0.05, log_device_targets=False, lr=0.02, run_seed=7,
+        )
+        predictor = TargetPredictor("paragraph", "SA", config).fit(tiny_bundle)
+        path = tmp_path / "sa.npz"
+        predictor.save(path)
+        loaded = TargetPredictor.load(path)
+        assert loaded.config.weight_decay == 0.05
+        assert loaded.config.log_device_targets is False
+        assert loaded.config.lr == 0.02
+        assert loaded.config.run_seed == 7
+        assert loaded.config.epochs == 4
+
+    def test_log_scaler_floor_restored(self, tiny_bundle, tmp_path):
+        config = TrainConfig(epochs=4, embed_dim=8, num_layers=2)
+        predictor = TargetPredictor("paragraph", "SA", config).fit(tiny_bundle)
+        path = tmp_path / "sa.npz"
+        predictor.save(path)
+        loaded = TargetPredictor.load(path)
+        assert loaded.target_scaler.floor == predictor.target_scaler.floor
+
+    def test_explicit_fc_depth_restored(self, tiny_bundle, tmp_path):
+        config = TrainConfig(epochs=2, embed_dim=8, num_layers=2, num_fc_layers=0)
+        predictor = TargetPredictor("paragraph", "CAP", config).fit(tiny_bundle)
+        path = tmp_path / "linear.npz"
+        predictor.save(path)
+        loaded = TargetPredictor.load(path)
+        assert len(loaded.model.readout.layers) == 1
+        record = tiny_bundle.records("test")[0]
+        _, a = predictor.predict(record)
+        _, b = loaded.predict(record)
+        np.testing.assert_allclose(a, b)
+
 
 class TestPredictCircuit:
     def test_predict_circuit_no_layout_needed(self, fitted):

@@ -45,6 +45,14 @@ class TestTargetPredictor:
         assert len(cap.model.readout.layers) == 4
         assert len(sa.model.readout.layers) == 2
 
+    def test_explicit_zero_fc_layers_honoured(self, tiny_bundle):
+        """Regression: ``num_fc_layers=0`` used to be silently replaced by
+        the paper default through a ``cfg.num_fc_layers or 4`` fallback."""
+        predictor = TargetPredictor(
+            "paragraph", "CAP", _quick_config(epochs=2, num_fc_layers=0)
+        ).fit(tiny_bundle)
+        assert len(predictor.model.readout.layers) == 1
+
     def test_max_v_filters_training_data(self, tiny_bundle):
         clamped = TargetPredictor(
             "paragraph", "CAP", _quick_config(max_v=1e-15)
@@ -137,4 +145,12 @@ class TestGNNRegressorSerialization:
         with pytest.raises(ValueError):
             GNNRegressor("paragraph", dims, rng, num_layers=0)
         with pytest.raises(ValueError):
-            GNNRegressor("paragraph", dims, rng, num_fc_layers=0)
+            GNNRegressor("paragraph", dims, rng, num_fc_layers=-1)
+
+    def test_zero_fc_layers_is_linear_readout(self):
+        rng = stream(0, "x")
+        dims = {t: feature_dim(t) for t in NODE_TYPES}
+        model = GNNRegressor(
+            "paragraph", dims, rng, embed_dim=8, num_layers=2, num_fc_layers=0
+        )
+        assert len(model.readout.layers) == 1

@@ -48,6 +48,42 @@ class TestBasics:
             b = a * 2.0
         assert not b.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        """Regression: the disable flag was a module global, so one thread's
+        no_grad() silently killed gradients being built on another thread."""
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def hold_no_grad():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5.0)
+
+        def build_graph():
+            a = Tensor([1.0], requires_grad=True)
+            results["requires_grad"] = (a * 2.0).requires_grad
+
+        holder = threading.Thread(target=hold_no_grad)
+        holder.start()
+        assert entered.wait(timeout=5.0)
+        worker = threading.Thread(target=build_graph)
+        worker.start()
+        worker.join(timeout=5.0)
+        release.set()
+        holder.join(timeout=5.0)
+        assert results["requires_grad"] is True
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
 
 class TestArithmeticValues:
     def test_add_sub_mul_div(self):

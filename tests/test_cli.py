@@ -90,6 +90,38 @@ class TestCli:
         cpar = [i for i in reparsed.instances() if "cpar" in i.name]
         assert len(cpar) >= 1
 
+    def test_train_with_runtime_flags(self, tmp_path, capsys):
+        model_path = tmp_path / "cap.npz"
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "train", "--target", "CAP", "--epochs", "4",
+                "--scale", "0.05", "--out", str(model_path),
+                "--metrics", str(metrics_path),
+                "--checkpoint-dir", str(tmp_path / "ckpts"),
+                "--checkpoint-every", "2",
+                "--progress-every", "2",
+            ]
+        )
+        assert code == 0
+        assert model_path.exists()
+        assert metrics_path.exists()
+        assert (tmp_path / "ckpts" / "paragraph-CAP-epoch00004.npz").exists()
+        assert "epoch 2/4" in capsys.readouterr().out
+
+    def test_train_all_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "models"
+        code = main(
+            [
+                "train-all", "--targets", "CAP,SA", "--epochs", "2",
+                "--scale", "0.05", "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert (out_dir / "CAP.npz").exists()
+        assert (out_dir / "SA.npz").exists()
+        assert "saved 2 models" in capsys.readouterr().out
+
     def test_predict_annotate_requires_cap_model(self, tmp_path, capsys):
         model_path = tmp_path / "sa.npz"
         main(
