@@ -1,5 +1,16 @@
-"""Result emission shared by all benchmarks."""
+"""Result emission shared by all benchmarks.
 
+Two artifacts per benchmark under ``benchmarks/results/``:
+
+* ``<name>.txt`` — the rendered paper-style table (:func:`emit`), for eyes.
+* ``<name>.json`` — a machine-readable record (:func:`emit_json`) with the
+  benchmark name, its parameters, pytest-benchmark timing statistics, and
+  the result metrics, for downstream tooling and regression tracking.
+"""
+
+import dataclasses
+import json
+import math
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -11,3 +22,77 @@ def emit(name: str, text: str) -> None:
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
     print(f"\n{text}\n", flush=True)
+
+
+def to_jsonable(obj):
+    """Recursively convert dataclasses/numpy/non-finite floats for JSON."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (str, int)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "nan"
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        return obj
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):  # numpy scalar
+        return to_jsonable(obj.item())
+    if hasattr(obj, "tolist"):  # numpy array
+        return to_jsonable(obj.tolist())
+    return str(obj)
+
+
+#: pytest-benchmark Stats attributes worth persisting.
+_STAT_FIELDS = (
+    "min", "max", "mean", "stddev", "median", "iqr", "rounds", "total"
+)
+
+
+def bench_timings(benchmark) -> dict:
+    """Timing statistics (seconds) from a completed ``benchmark`` fixture."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return {}
+    timings = {}
+    for name in _STAT_FIELDS:
+        value = getattr(stats, name, None)
+        if value is not None:
+            timings[name] = to_jsonable(value)
+    return timings
+
+
+def emit_json(
+    name: str,
+    benchmark=None,
+    *,
+    params=None,
+    metrics=None,
+    timings: dict | None = None,
+) -> str:
+    """Write ``benchmarks/results/<name>.json`` and return its path.
+
+    *timings* defaults to :func:`bench_timings` of the given *benchmark*
+    fixture; *params* and *metrics* may be any objects (dataclasses, dicts
+    and numpy values are converted).
+    """
+    if timings is None:
+        timings = bench_timings(benchmark)
+    payload = {
+        "name": name,
+        "params": to_jsonable(params or {}),
+        "timings": to_jsonable(timings),
+        "metrics": to_jsonable(metrics if metrics is not None else {}),
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return path

@@ -5,7 +5,7 @@ and GAT's attention.  This bench disables one at a time on the CAP model
 and reports test accuracy, validating the design rationale.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_ingredients
 
 
@@ -14,6 +14,7 @@ def test_ablation_ingredients(benchmark, config, bundle):
         lambda: experiment_ingredients(config, bundle), rounds=1, iterations=1
     )
     emit("ablation_ingredients", result.render())
+    emit_json("ablation_ingredients", benchmark, params=config, metrics=result)
 
     rows = {row["variant"]: row for row in result.rows}
     assert set(rows) == {

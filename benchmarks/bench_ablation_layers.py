@@ -4,7 +4,7 @@ Trains the CAP model at several depths L and reports test R²/MAPE.
 Expected shape: accuracy improves with depth and saturates around L=5.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_layer_sweep
 
 
@@ -13,6 +13,7 @@ def test_ablation_layer_depth(benchmark, config, bundle):
         lambda: experiment_layer_sweep(config, bundle), rounds=1, iterations=1
     )
     emit("ablation_layers", result.render())
+    emit_json("ablation_layers", benchmark, params=config, metrics=result)
 
     r2 = {row["variant"]: row["r2"] for row in result.rows}
     # shape: deeper-than-one beats a single layer

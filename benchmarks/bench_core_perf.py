@@ -10,6 +10,8 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks._util import emit_json
+from repro import obs
 from repro.circuits.devices import NODE_TYPES
 from repro.circuits.generators.chip import TRAIN_RECIPES, compose_chip
 from repro.data.targets import target_by_name
@@ -36,11 +38,21 @@ def perf_inputs(perf_circuit, bundle):
 def test_perf_graph_construction(benchmark, perf_circuit):
     graph = benchmark(lambda: build_graph(perf_circuit))
     assert graph.num_nodes > 100
+    emit_json(
+        "core_perf_graph_construction", benchmark,
+        params={"circuit": perf_circuit.name},
+        metrics={"num_nodes": graph.num_nodes, "num_edges": graph.num_edges},
+    )
 
 
 def test_perf_layout_synthesis(benchmark, perf_circuit):
     result = benchmark(lambda: synthesize_layout(perf_circuit, seed=1))
     assert len(result.net_caps) > 50
+    emit_json(
+        "core_perf_layout_synthesis", benchmark,
+        params={"circuit": perf_circuit.name, "seed": 1},
+        metrics={"net_caps": len(result.net_caps)},
+    )
 
 
 def test_perf_paragraph_forward(benchmark, perf_inputs):
@@ -56,6 +68,11 @@ def test_perf_paragraph_forward(benchmark, perf_inputs):
     ids = graph.nodes_of_type["net"]
     out = benchmark(lambda: model(inputs, ids))
     assert out.shape == (len(ids), 1)
+    emit_json(
+        "core_perf_paragraph_forward", benchmark,
+        params={"embed_dim": 32, "num_layers": 5},
+        metrics={"net_nodes": len(ids)},
+    )
 
 
 def test_perf_training_step(benchmark, perf_inputs):
@@ -80,12 +97,22 @@ def test_perf_training_step(benchmark, perf_inputs):
 
     loss = benchmark(step)
     assert np.isfinite(loss)
+    emit_json(
+        "core_perf_training_step", benchmark,
+        params={"embed_dim": 32, "num_layers": 5},
+        metrics={"loss": loss},
+    )
 
 
 def test_perf_merge_graphs(benchmark, bundle):
     graphs = [record.graph for record in bundle.records("train")]
     merged = benchmark(lambda: merge_graphs(graphs))
     assert merged.num_nodes == sum(g.num_nodes for g in graphs)
+    emit_json(
+        "core_perf_merge_graphs", benchmark,
+        params={"num_graphs": len(graphs)},
+        metrics={"merged_nodes": merged.num_nodes},
+    )
 
 
 def test_perf_multi_target_setup_cached(benchmark, bundle):
@@ -128,3 +155,43 @@ def test_perf_multi_target_setup_cached(benchmark, bundle):
         f"({uncached_seconds / cached_seconds:.1f}x)",
         flush=True,
     )
+
+
+def test_perf_obs_disabled_overhead(benchmark, perf_circuit):
+    """Disabled instrumentation must cost <2% of the stage it wraps.
+
+    ``build_graph`` is the most densely instrumented hot path (one span and
+    three metric calls per invocation); compare its wall time against the
+    per-call price of the disabled span/counter/histogram fast paths.
+    """
+    assert not obs.is_enabled()
+
+    tick = time.perf_counter()
+    build_graph(perf_circuit)
+    stage_seconds = time.perf_counter() - tick
+
+    def probe():
+        with obs.span("overhead.probe", circuit="x"):
+            pass
+        obs.inc("overhead.probe_total")
+        obs.observe("overhead.probe_hist", 1.0)
+
+    calls = 1000
+
+    def probe_batch():
+        for _ in range(calls):
+            probe()
+
+    benchmark(probe_batch)
+    per_call = benchmark.stats.stats.min / calls
+    emit_json(
+        "core_perf_obs_disabled_overhead", benchmark,
+        params={"circuit": perf_circuit.name, "calls": calls},
+        metrics={
+            "per_call_seconds": per_call,
+            "stage_seconds": stage_seconds,
+            "overhead_fraction": per_call / stage_seconds,
+        },
+    )
+    # one instrumented call-site round per build_graph call: < 2% overhead
+    assert per_call < 0.02 * stage_seconds

@@ -5,7 +5,7 @@ expect more attention heads would lead to even better results").  This bench
 sweeps 1/2/4 heads on the CAP model.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_attention_heads
 
 
@@ -14,6 +14,7 @@ def test_ext_attention_heads(benchmark, config, bundle):
         lambda: experiment_attention_heads(config, bundle), rounds=1, iterations=1
     )
     emit("ext_attention_heads", result.render())
+    emit_json("ext_attention_heads", benchmark, params=config, metrics=result)
 
     rows = {row["variant"]: row for row in result.rows}
     assert set(rows) == {"heads=1", "heads=2", "heads=4"}

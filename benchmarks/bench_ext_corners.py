@@ -6,7 +6,7 @@ Expected shape: accuracy degrades gracefully — MAPE grows by roughly the
 corner skew, R² stays clearly positive.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_corner_robustness
 
 
@@ -17,6 +17,7 @@ def test_ext_corner_robustness(benchmark, config, bundle):
         iterations=1,
     )
     emit("ext_corners", result.render())
+    emit_json("ext_corners", benchmark, params=config, metrics=result)
 
     rows = {row["variant"]: row for row in result.rows}
     assert rows["typ"]["r2"] > 0.2

@@ -9,7 +9,7 @@ without its easy part (pin capacitance, which is a pure neighbourhood sum).
 The bench asserts ParaGraph reaches parity with the best baseline.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_resistance
 
 
@@ -18,6 +18,7 @@ def test_ext_resistance_prediction(benchmark, config, bundle):
         lambda: experiment_resistance(config, bundle), rounds=1, iterations=1
     )
     emit("ext_resistance", result.render())
+    emit_json("ext_resistance", benchmark, params=config, metrics=result)
 
     r2 = {row["variant"]: row["r2"] for row in result.rows}
     mape = {row["variant"]: row["mape"] for row in result.rows}

@@ -9,7 +9,7 @@ strongest inside its own range, and the ensemble has the lowest overall MAE.
 
 import numpy as np
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_fig5
 
 
@@ -18,6 +18,7 @@ def test_fig5_maxv_models_and_ensemble(benchmark, config, bundle):
         lambda: experiment_fig5(config, bundle), rounds=1, iterations=1
     )
     emit("fig5_maxv_models", result.render())
+    emit_json("fig5_maxv_models", benchmark, params=config, metrics=result)
 
     rows = {row["name"]: row for row in result.model_rows}
     full = rows["full-range"]

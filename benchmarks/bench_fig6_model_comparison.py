@@ -7,7 +7,7 @@ baselines on average, with ParaGraph at or near the top (paper: 0.772
 average R², 110% better than XGBoost).
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_fig6
 
 
@@ -16,6 +16,7 @@ def test_fig6_model_comparison(benchmark, config, bundle):
         lambda: experiment_fig6(config, bundle), rounds=1, iterations=1
     )
     emit("fig6_model_comparison", result.render())
+    emit_json("fig6_model_comparison", benchmark, params=config, metrics=result)
 
     avg = {model: result.average_r2(model) for model in result.r2}
     # shape: graph models dominate the feature-only baselines on average

@@ -5,7 +5,7 @@ CAP and SA predict well (MAPE 15.0% and 10.3%), while the LDE parameters
 carry inherent layout uncertainty and predict far worse (MAPE > 100%).
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_fig7
 
 
@@ -14,6 +14,7 @@ def test_fig7_scatter(benchmark, config, bundle):
         lambda: experiment_fig7(config, bundle), rounds=1, iterations=1
     )
     emit("fig7_scatter", result.render())
+    emit_json("fig7_scatter", benchmark, params=config, metrics=result)
 
     rows = {row["target"]: row for row in result.rows}
     # shape: the geometric target (SA) is far better predicted than the

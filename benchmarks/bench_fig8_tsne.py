@@ -8,7 +8,7 @@ separated".  Expected shape: agreement well above 0 on most circuits.
 
 import numpy as np
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_fig8
 
 
@@ -17,6 +17,7 @@ def test_fig8_tsne_separation(benchmark, config, bundle):
         lambda: experiment_fig8(config, bundle), rounds=1, iterations=1
     )
     emit("fig8_tsne", result.render())
+    emit_json("fig8_tsne", benchmark, params=config, metrics=result)
 
     agreements = [row["agreement"] for row in result.rows]
     assert len(agreements) >= 1

@@ -4,7 +4,7 @@ Regenerates the dataset end-to-end (composition + layout synthesis + graph
 construction) and prints the distribution rows in the paper's format.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import experiment_table4, load_bundle
 
 
@@ -15,6 +15,7 @@ def test_table4_dataset(benchmark, config):
         iterations=1,
     )
     emit("table4_dataset", result.render())
+    emit_json("table4_dataset", benchmark, params=config, metrics=result)
     # sanity: all 22 circuits present, t4 is the largest (paper shape)
     assert len(result.rows) == 22
     nets = {row["circuit"]: row["net"] for row in result.rows}

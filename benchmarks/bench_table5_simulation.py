@@ -8,7 +8,7 @@ errors are the lowest by a wide margin, the designer estimate has the worst
 mean, and ParaGraph moves most metrics into the <10% bin.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.experiments import TABLE5_MODES, experiment_table5
 
 
@@ -17,6 +17,7 @@ def test_table5_simulation_errors(benchmark, config, bundle):
         lambda: experiment_table5(config, bundle), rounds=1, iterations=1
     )
     emit("table5_simulation", result.render())
+    emit_json("table5_simulation", benchmark, params=config, metrics=result)
 
     # shape: ParaGraph annotation gives the smallest simulation errors
     assert result.means["paragraph"] == min(result.means[m] for m in TABLE5_MODES)

@@ -2,6 +2,10 @@
 
 Ensures ``src`` layout imports work even when the package has not been
 installed (e.g. offline machines where editable installs are unavailable).
+
+When ``REPRO_TRACE`` / ``REPRO_OBS_JSONL`` name output files, observability
+collection runs for the whole pytest session and the trace/event log is
+exported at exit — how CI attaches obs artifacts to every test run.
 """
 
 import os
@@ -10,3 +14,28 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def _obs_targets() -> tuple[str | None, str | None]:
+    return os.environ.get("REPRO_TRACE"), os.environ.get("REPRO_OBS_JSONL")
+
+
+def pytest_configure(config):
+    trace, jsonl = _obs_targets()
+    if trace or jsonl:
+        from repro import obs
+
+        obs.enable()
+
+
+def pytest_unconfigure(config):
+    trace, jsonl = _obs_targets()
+    if not (trace or jsonl):
+        return
+    from repro import obs
+
+    obs.disable()
+    if jsonl:
+        obs.export_jsonl(jsonl)
+    if trace:
+        obs.export_chrome_trace(trace)

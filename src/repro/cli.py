@@ -28,6 +28,15 @@ Subcommands::
     python -m repro experiment {table4,fig5,fig6,fig7,fig8,table5,layers,ingredients}
         Run one paper experiment and print its table (honours
         PARAGRAPH_BENCH_SCALE).
+
+    python -m repro obs report trace.json
+        Print the per-stage time/memory summary of a trace written with
+        ``--trace`` or ``--obs-jsonl``.
+
+Every subcommand additionally accepts ``--trace out.json`` (write a Chrome
+``trace_event`` file loadable in Perfetto / chrome://tracing) and
+``--obs-jsonl out.jsonl`` (append span/metric events as JSON lines); both
+flags may be given before or after the subcommand name.
 """
 
 from __future__ import annotations
@@ -140,6 +149,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_events, render_summary
+
+    spans, metrics = load_events(args.trace_file)
+    if not spans and not metrics:
+        print(f"no observability events in {args.trace_file}", file=sys.stderr)
+        return 2
+    try:
+        print(render_summary(spans, metrics))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.stderr.close()
+        return 0
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis import experiments as exp
 
@@ -163,11 +187,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ParaGraph reproduction command line"
     )
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write a Chrome trace_event file of the run")
+    parser.add_argument("--obs-jsonl", default=None, metavar="OUT.jsonl",
+                        help="append span/metric events to this JSONL file")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_args(sub_parser: argparse.ArgumentParser) -> None:
+        # SUPPRESS: without it the subparser's default (None) would
+        # overwrite a value parsed from before the subcommand name.
+        sub_parser.add_argument("--trace", default=argparse.SUPPRESS,
+                                metavar="OUT.json",
+                                help="write a Chrome trace_event file")
+        sub_parser.add_argument("--obs-jsonl", default=argparse.SUPPRESS,
+                                metavar="OUT.jsonl",
+                                help="append span/metric events as JSONL")
 
     p_dataset = sub.add_parser("dataset", help="print Table IV for a generated dataset")
     p_dataset.add_argument("--scale", type=float, default=0.2)
     p_dataset.add_argument("--seed", type=int, default=0)
+    add_obs_args(p_dataset)
     p_dataset.set_defaults(func=_cmd_dataset)
 
     def add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
@@ -197,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--resume-from", default=None,
                          help="resume training from this checkpoint .npz")
     add_runtime_args(p_train)
+    add_obs_args(p_train)
     p_train.set_defaults(func=_cmd_train)
 
     p_train_all = sub.add_parser(
@@ -214,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train_all.add_argument("--out-dir", default="models",
                              help="directory for the per-target .npz files")
     add_runtime_args(p_train_all)
+    add_obs_args(p_train_all)
     p_train_all.set_defaults(func=_cmd_train_all)
 
     p_predict = sub.add_parser("predict", help="predict targets for a SPICE netlist")
@@ -221,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--netlist", required=True)
     p_predict.add_argument("--annotate", default=None,
                            help="write a parasitic-annotated netlist here")
+    add_obs_args(p_predict)
     p_predict.set_defaults(func=_cmd_predict)
 
     p_exp = sub.add_parser("experiment", help="run one paper experiment")
@@ -229,13 +271,47 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table4", "fig5", "fig6", "fig7", "fig8", "table5",
                  "layers", "ingredients"],
     )
+    add_obs_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_obs = sub.add_parser("obs", help="inspect observability output")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_report = obs_sub.add_parser(
+        "report", help="per-stage summary of a trace/JSONL file"
+    )
+    p_report.add_argument("trace_file",
+                          help="file written by --trace or --obs-jsonl")
+    p_report.set_defaults(func=_cmd_obs)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_out = getattr(args, "trace", None)
+    jsonl_out = getattr(args, "obs_jsonl", None)
+    if not (trace_out or jsonl_out):
+        return args.func(args)
+
+    from repro import obs
+
+    # When an outer controller (e.g. the pytest session hook) already owns
+    # the collection lifecycle, export but leave its state untouched.
+    nested = obs.is_enabled()
+    if not nested:
+        obs.enable(memory=True)
+    try:
+        return args.func(args)
+    finally:
+        if not nested:
+            obs.disable()
+        if jsonl_out:
+            obs.export_jsonl(jsonl_out)
+            print(f"wrote observability events to {jsonl_out}", file=sys.stderr)
+        if trace_out:
+            obs.export_chrome_trace(trace_out)
+            print(f"wrote Chrome trace to {trace_out}", file=sys.stderr)
+        if not nested:
+            obs.reset()  # don't leak spans into a later in-process run
 
 
 if __name__ == "__main__":  # pragma: no cover

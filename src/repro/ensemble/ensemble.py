@@ -19,6 +19,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import CircuitRecord, DatasetBundle
 from repro.data.targets import CAP_TARGET
 from repro.errors import ModelError
@@ -44,6 +45,31 @@ class RangeModel:
     predictor: CapPredictor
 
 
+def combine_with_sources(
+    predictions: Sequence[np.ndarray], max_vs: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 2 with provenance: (combined values, winning member index).
+
+    ``sources[j]`` is the index of the range model whose prediction the
+    combination kept for element ``j`` — the quantity behind the
+    ``ensemble.range_selected`` metric and the per-range accuracy analyses.
+    """
+    if len(predictions) != len(max_vs):
+        raise ModelError("predictions/max_vs length mismatch")
+    if len(predictions) == 0:
+        raise ModelError("ensemble needs at least one model")
+    if list(max_vs) != sorted(max_vs):
+        raise ModelError("ensemble models must be sorted by ascending max_v")
+    combined = np.array(predictions[0], dtype=np.float64, copy=True)
+    sources = np.zeros(combined.shape, dtype=np.int64)
+    for i in range(1, len(predictions)):
+        candidate = np.asarray(predictions[i], dtype=np.float64)
+        replace = candidate > max_vs[i - 1]
+        combined[replace] = candidate[replace]
+        sources[replace] = i
+    return combined, sources
+
+
 def combine_predictions(
     predictions: Sequence[np.ndarray], max_vs: Sequence[float]
 ) -> np.ndarray:
@@ -54,18 +80,7 @@ def combine_predictions(
     model, a higher model's prediction replaces the current one whenever it
     exceeds the next-lower ceiling.
     """
-    if len(predictions) != len(max_vs):
-        raise ModelError("predictions/max_vs length mismatch")
-    if len(predictions) == 0:
-        raise ModelError("ensemble needs at least one model")
-    if list(max_vs) != sorted(max_vs):
-        raise ModelError("ensemble models must be sorted by ascending max_v")
-    combined = np.array(predictions[0], dtype=np.float64, copy=True)
-    for i in range(1, len(predictions)):
-        candidate = np.asarray(predictions[i], dtype=np.float64)
-        replace = candidate > max_vs[i - 1]
-        combined[replace] = candidate[replace]
-    return combined
+    return combine_with_sources(predictions, max_vs)[0]
 
 
 @dataclass
@@ -85,14 +100,26 @@ class CapacitanceEnsemble:
             raise ModelError("ensemble has no models")
         ids_ref: np.ndarray | None = None
         predictions = []
-        for member in self.models:
-            ids, pred = member.predictor.predict(record)
-            if ids_ref is None:
-                ids_ref = ids
-            elif not np.array_equal(ids, ids_ref):
-                raise ModelError("ensemble members disagree on node ids")
-            predictions.append(pred)
-        combined = combine_predictions(predictions, [m.max_v for m in self.models])
+        with obs.span("ensemble.predict", circuit=getattr(record, "name", "")):
+            for member in self.models:
+                label = "inf" if math.isinf(member.max_v) else f"{member.max_v:g}"
+                with obs.span("ensemble.member_predict", max_v=label):
+                    ids, pred = member.predictor.predict(record)
+                if ids_ref is None:
+                    ids_ref = ids
+                elif not np.array_equal(ids, ids_ref):
+                    raise ModelError("ensemble members disagree on node ids")
+                predictions.append(pred)
+            combined, sources = combine_with_sources(
+                predictions, [m.max_v for m in self.models]
+            )
+        obs.inc("ensemble.predictions_total", len(combined))
+        if obs.is_enabled():
+            counts = np.bincount(sources, minlength=len(self.models))
+            for member, count in zip(self.models, counts):
+                if count:
+                    label = "inf" if math.isinf(member.max_v) else f"{member.max_v:g}"
+                    obs.inc("ensemble.range_selected", int(count), max_v=label)
         return ids_ref, combined
 
     def predict_named(self, record: CircuitRecord) -> dict[str, float]:

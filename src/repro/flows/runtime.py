@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import CircuitRecord
 from repro.data.normalize import FeatureScaler
 from repro.data.targets import TargetSpec
@@ -91,16 +92,21 @@ class MergedInputsCache:
         split = self._merged.get(key)
         if split is not None:
             self.hits += 1
+            obs.inc("cache.merged_inputs_hits_total")
             return split
         self.misses += 1
+        obs.inc("cache.merged_inputs_misses_total")
         # Imported here rather than at module top: repro.models.__init__
         # imports the trainer, which imports this module.
         from repro.models.inputs import GraphInputs
 
-        merged = merge_graphs([record.graph for record in records])
-        inputs = GraphInputs.from_graph(merged, scaler)
-        offsets = np.cumsum([0] + [r.graph.num_nodes for r in records[:-1]])
-        split = MergedSplit(inputs=inputs, offsets=offsets, records=list(records))
+        with obs.span("cache.merge_inputs", records=len(records)):
+            merged = merge_graphs([record.graph for record in records])
+            inputs = GraphInputs.from_graph(merged, scaler)
+            offsets = np.cumsum([0] + [r.graph.num_nodes for r in records[:-1]])
+            split = MergedSplit(
+                inputs=inputs, offsets=offsets, records=list(records)
+            )
         self._merged[key] = split
         return split
 
@@ -177,23 +183,51 @@ class TrainCallback:
 
 
 class ConsoleProgressReporter(TrainCallback):
-    """Print a progress line every *every* epochs (and on lifecycle events)."""
+    """Print a progress line every *every* epochs (and on lifecycle events).
+
+    Each line carries the observed training rate (epochs/s) and the ETA for
+    the remaining epochs, from the cumulative epoch seconds of the current
+    attempt.  When ``total_epochs < every`` the final epoch still prints,
+    so short runs always produce exactly one progress line.
+    """
 
     def __init__(self, every: int = 10):
         if every < 1:
             raise ValueError("every must be >= 1")
         self.every = every
+        self._seconds = 0.0
+        self._epochs = 0
 
     def _tag(self, ctx: TrainContext) -> str:
         retry = f" retry {ctx.attempt}" if ctx.attempt else ""
         return f"[{ctx.conv}/{ctx.target}{retry}]"
 
+    @staticmethod
+    def _format_eta(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.0f}s"
+
+    def on_train_start(self, ctx: TrainContext) -> None:
+        self._seconds = 0.0
+        self._epochs = 0
+
     def on_epoch_end(self, ctx: TrainContext, metrics: EpochMetrics) -> None:
+        self._seconds += metrics.seconds
+        self._epochs += 1
         if metrics.epoch % self.every == 0 or metrics.epoch == ctx.total_epochs:
+            if self._seconds > 0:
+                rate = self._epochs / self._seconds
+                remaining = max(ctx.total_epochs - metrics.epoch, 0)
+                pace = f" {rate:.1f}ep/s eta {self._format_eta(remaining / rate)}"
+            else:
+                pace = ""
             print(
                 f"{self._tag(ctx)} epoch {metrics.epoch}/{ctx.total_epochs}: "
                 f"loss={metrics.loss:.5f} |g|={metrics.grad_norm:.3e} "
-                f"{metrics.seconds * 1e3:.0f}ms",
+                f"{metrics.seconds * 1e3:.0f}ms{pace}",
                 flush=True,
             )
 
@@ -218,12 +252,33 @@ class JsonlMetricsWriter(TrainCallback):
     ``checkpoint``/``end``), ``conv``, ``target`` and ``attempt``; ``epoch``
     rows add the :class:`EpochMetrics` fields, ``end`` rows add
     ``epochs_run``, ``final_loss`` and ``stopped_early``.
+
+    Crash safety: ``checkpoint`` rows are flushed and fsynced so the log on
+    disk always covers the state a resume restarts from, and the first
+    append of a run terminates any partial last line a crash mid-write left
+    behind (readers skip the one malformed line; later rows stay parseable).
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = str(path)
+        self._checked_partial = False
 
-    def _write(self, ctx: TrainContext, event: str, **fields) -> None:
+    def _repair_partial_line(self) -> None:
+        """Newline-terminate a truncated last line left by a crash."""
+        self._checked_partial = True
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                last = handle.read(1)
+        except (FileNotFoundError, OSError):
+            return  # no file yet, or empty: nothing to repair
+        if last not in (b"\n", b""):
+            with open(self.path, "a") as handle:
+                handle.write("\n")
+
+    def _write(
+        self, ctx: TrainContext, event: str, durable: bool = False, **fields
+    ) -> None:
         row = {
             "event": event,
             "conv": ctx.conv,
@@ -234,8 +289,13 @@ class JsonlMetricsWriter(TrainCallback):
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
+        if not self._checked_partial:
+            self._repair_partial_line()
         with open(self.path, "a") as handle:
             handle.write(json.dumps(row) + "\n")
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def on_train_start(self, ctx: TrainContext) -> None:
         self._write(ctx, "start", total_epochs=ctx.total_epochs, run_seed=ctx.run_seed)
@@ -249,7 +309,7 @@ class JsonlMetricsWriter(TrainCallback):
         self._write(ctx, "divergence", epoch=epoch, reason=reason)
 
     def on_checkpoint(self, ctx: TrainContext, path: str) -> None:
-        self._write(ctx, "checkpoint", path=path)
+        self._write(ctx, "checkpoint", durable=True, path=path)
 
     def on_train_end(self, ctx: TrainContext, history) -> None:
         self._write(
@@ -332,6 +392,10 @@ class RuntimeConfig:
             callbacks.append(JsonlMetricsWriter(self.metrics_jsonl))
         if self.progress_every:
             callbacks.append(ConsoleProgressReporter(self.progress_every))
+        if obs.is_enabled():
+            from repro.obs.callback import ObsTrainCallback
+
+            callbacks.append(ObsTrainCallback())
         return callbacks
 
 

@@ -10,11 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.circuits import devices as dev
 from repro.circuits.netlist import Circuit
 from repro.errors import GraphConstructionError
 from repro.graph.features import device_features, feature_dim, net_features
 from repro.graph.hetero import HeteroGraph, edge_type_name
+
+#: Histogram buckets for graph sizes (node/edge counts).
+GRAPH_SIZE_BUCKETS = (10, 30, 100, 300, 1000, 3000, 10000, float("inf"))
 
 
 def build_graph(circuit: Circuit, validate: bool = True) -> HeteroGraph:
@@ -25,6 +29,15 @@ def build_graph(circuit: Circuit, validate: bool = True) -> HeteroGraph:
     GraphConstructionError
         If the circuit yields no net nodes (nothing to predict on).
     """
+    with obs.span("graph.build", circuit=circuit.name):
+        graph = _build_graph(circuit, validate)
+    obs.inc("graphs_built_total")
+    obs.observe("graph.nodes", graph.num_nodes, buckets=GRAPH_SIZE_BUCKETS)
+    obs.observe("graph.edges", graph.num_edges, buckets=GRAPH_SIZE_BUCKETS)
+    return graph
+
+
+def _build_graph(circuit: Circuit, validate: bool) -> HeteroGraph:
     graph = HeteroGraph(name=circuit.name)
 
     # --- nodes -------------------------------------------------------

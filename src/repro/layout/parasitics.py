@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.circuits import devices as dev
 from repro.circuits.netlist import Circuit, Instance
 from repro.layout.tech import Technology
@@ -88,6 +89,7 @@ def extract_capacitances(
         caps[net.name] = net_capacitance(
             circuit, net.name, lengths.get(net.name, 0.0), tech, rng
         )
+    obs.inc("layout.caps_extracted_total", len(caps))
     return caps
 
 
@@ -124,4 +126,5 @@ def extract_resistances(
         res[net.name] = net_resistance(
             circuit, net.name, lengths.get(net.name, 0.0), tech, rng
         )
+    obs.inc("layout.res_extracted_total", len(res))
     return res

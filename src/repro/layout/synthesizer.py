@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.circuits import devices as dev
 from repro.circuits.netlist import Circuit
 from repro.errors import LayoutError
@@ -106,33 +107,45 @@ def synthesize_layout(
         raise LayoutError(f"circuit {circuit.name!r} has no signal nets")
     namer = SeedSequenceNamer(seed, "layout", circuit.name)
 
-    chains = find_diffusion_chains(circuit)
-    placement = place_circuit(circuit, chains, tech, namer.stream("placement"))
-
-    device_params: dict[str, DeviceTargets] = {}
-    geometry_rng = namer.stream("geometry")
-    lde_rng = namer.stream("lde")
-    for chain in chains:
-        for link in chain.links:
-            geometry = device_geometry(link, tech)
-            geo_noise = np.exp(
-                geometry_rng.normal(0.0, tech.noise_geometry, size=4)
-            )
-            device_params[link.inst.name] = DeviceTargets(
-                lde=lde_parameters(link, chain, geometry, placement, tech, lde_rng),
-                sa=geometry.source_area * geo_noise[0],
-                da=geometry.drain_area * geo_noise[1],
-                sp=geometry.source_perimeter * geo_noise[2],
-                dp=geometry.drain_perimeter * geo_noise[3],
+    with obs.span("layout.synthesize", circuit=circuit.name):
+        with obs.span("layout.chains"):
+            chains = find_diffusion_chains(circuit)
+        with obs.span("layout.place"):
+            placement = place_circuit(
+                circuit, chains, tech, namer.stream("placement")
             )
 
-    lengths = all_net_lengths(circuit, placement)
-    net_caps = extract_capacitances(
-        circuit, lengths, tech, namer.stream("parasitics")
-    )
-    net_res = extract_resistances(
-        circuit, lengths, tech, namer.stream("resistance")
-    )
+        device_params: dict[str, DeviceTargets] = {}
+        geometry_rng = namer.stream("geometry")
+        lde_rng = namer.stream("lde")
+        with obs.span("layout.device_params"):
+            for chain in chains:
+                for link in chain.links:
+                    geometry = device_geometry(link, tech)
+                    geo_noise = np.exp(
+                        geometry_rng.normal(0.0, tech.noise_geometry, size=4)
+                    )
+                    device_params[link.inst.name] = DeviceTargets(
+                        lde=lde_parameters(
+                            link, chain, geometry, placement, tech, lde_rng
+                        ),
+                        sa=geometry.source_area * geo_noise[0],
+                        da=geometry.drain_area * geo_noise[1],
+                        sp=geometry.source_perimeter * geo_noise[2],
+                        dp=geometry.drain_perimeter * geo_noise[3],
+                    )
+
+        with obs.span("layout.route"):
+            lengths = all_net_lengths(circuit, placement)
+        with obs.span("layout.extract"):
+            net_caps = extract_capacitances(
+                circuit, lengths, tech, namer.stream("parasitics")
+            )
+            net_res = extract_resistances(
+                circuit, lengths, tech, namer.stream("resistance")
+            )
+    obs.inc("layouts_synthesized_total")
+    obs.inc("layout.devices_total", len(device_params))
     return LayoutResult(
         circuit_name=circuit.name,
         net_caps=net_caps,

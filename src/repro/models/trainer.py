@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import CircuitRecord, DatasetBundle
 from repro.data.normalize import (
     FeatureScaler,
@@ -165,6 +166,22 @@ class TargetPredictor:
             exact optimizer state, reproducing the uninterrupted run
             bit-for-bit.
         """
+        with obs.span("train.fit", conv=self.conv, target=self.spec.name):
+            return self._fit(
+                bundle,
+                runtime=runtime,
+                inputs_cache=inputs_cache,
+                resume_from=resume_from,
+            )
+
+    def _fit(
+        self,
+        bundle: DatasetBundle,
+        *,
+        runtime: RuntimeConfig | None,
+        inputs_cache: MergedInputsCache | None,
+        resume_from: str | os.PathLike | None,
+    ) -> "TargetPredictor":
         cfg = self.config
         rt = runtime or RuntimeConfig()
         callbacks = rt.build_callbacks()
@@ -176,12 +193,13 @@ class TargetPredictor:
         emit = CallbackList(callbacks)
 
         records = bundle.records("train")
-        if inputs_cache is not None:
-            inputs, ids, values = inputs_cache.merged_target(
-                records, bundle.scaler, self.spec
-            )
-        else:
-            inputs, ids, values = _merged_inputs(records, bundle, self.spec)
+        with obs.span("train.inputs", target=self.spec.name):
+            if inputs_cache is not None:
+                inputs, ids, values = inputs_cache.merged_target(
+                    records, bundle.scaler, self.spec
+                )
+            else:
+                inputs, ids, values = _merged_inputs(records, bundle, self.spec)
         if len(ids) == 0:
             raise ModelError(f"no training samples for target {self.spec.name}")
 
@@ -277,21 +295,25 @@ class TargetPredictor:
             epochs_since_best = 0
             for epoch in range(start_epoch, cfg.epochs):
                 tick = time.perf_counter()
-                optimizer.zero_grad()
-                pred = model(inputs, ids)
-                loss = mse_loss(pred, targets)
-                loss_value = loss.item()
-                if not math.isfinite(loss_value):
-                    diverged = f"non-finite loss {loss_value}"
-                else:
-                    loss.backward()
-                    grad_norm = global_grad_norm(params)
-                    if not math.isfinite(grad_norm):
-                        diverged = f"non-finite gradient norm {grad_norm}"
+                with obs.span(
+                    "train.epoch", epoch=epoch + 1, target=self.spec.name
+                ):
+                    optimizer.zero_grad()
+                    pred = model(inputs, ids)
+                    loss = mse_loss(pred, targets)
+                    loss_value = loss.item()
+                    if not math.isfinite(loss_value):
+                        diverged = f"non-finite loss {loss_value}"
+                    else:
+                        loss.backward()
+                        grad_norm = global_grad_norm(params)
+                        if not math.isfinite(grad_norm):
+                            diverged = f"non-finite gradient norm {grad_norm}"
+                        else:
+                            optimizer.step()
                 if diverged is not None:
                     emit.on_divergence(ctx, epoch + 1, diverged)
                     break
-                optimizer.step()
                 seconds = time.perf_counter() - tick
                 history.losses.append(loss_value)
                 history.grad_norms.append(grad_norm)
@@ -312,24 +334,30 @@ class TargetPredictor:
                     and rt.checkpoint_every
                     and (epoch + 1) % rt.checkpoint_every == 0
                 ):
-                    path = save_checkpoint(
-                        os.path.join(
-                            rt.checkpoint_dir,
-                            f"{self.conv}-{self.spec.name}-epoch{epoch + 1:05d}.npz",
-                        ),
-                        model,
-                        optimizer,
+                    with obs.span(
+                        "train.checkpoint",
                         epoch=epoch + 1,
-                        attempt=attempt,
-                        losses=history.losses,
-                        grad_norms=history.grad_norms,
-                        meta={
-                            "conv": self.conv,
-                            "target": self.spec.name,
-                            "run_seed": cfg.run_seed,
-                            "epochs": cfg.epochs,
-                        },
-                    )
+                        target=self.spec.name,
+                    ):
+                        path = save_checkpoint(
+                            os.path.join(
+                                rt.checkpoint_dir,
+                                f"{self.conv}-{self.spec.name}"
+                                f"-epoch{epoch + 1:05d}.npz",
+                            ),
+                            model,
+                            optimizer,
+                            epoch=epoch + 1,
+                            attempt=attempt,
+                            losses=history.losses,
+                            grad_norms=history.grad_norms,
+                            meta={
+                                "conv": self.conv,
+                                "target": self.spec.name,
+                                "run_seed": cfg.run_seed,
+                                "epochs": cfg.epochs,
+                            },
+                        )
                     emit.on_checkpoint(ctx, path)
                 if rt.patience:
                     if loss_value < best_loss - rt.min_delta:

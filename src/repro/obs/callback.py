@@ -1,0 +1,67 @@
+"""Bridge from the training runtime's callback protocol into ``repro.obs``.
+
+:class:`ObsTrainCallback` mirrors ``repro.flows.runtime.TrainCallback``
+without importing it (the runtime imports this package, so a real subclass
+would be a cycle; the protocol is structural anyway).  It converts every
+``EpochMetrics`` into registry updates, so a traced training run yields
+loss/grad-norm/epoch-time distributions alongside the span tree.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _metrics
+
+#: Buckets for per-epoch wall time, seconds.
+EPOCH_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, float("inf")
+)
+
+
+class ObsTrainCallback:
+    """Feed per-epoch training metrics into a :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: "_metrics.MetricsRegistry | None" = None):
+        # resolved lazily so a pickled callback rebinds to the worker's
+        # process-local registry instead of a stale copy
+        self._registry = registry
+
+    def _reg(self) -> "_metrics.MetricsRegistry":
+        if self._registry is not None:
+            return self._registry
+        from repro import obs
+
+        return obs.registry()
+
+    def on_train_start(self, ctx) -> None:
+        self._reg().inc("train.runs_total", target=ctx.target)
+
+    def on_epoch_end(self, ctx, metrics) -> None:
+        reg = self._reg()
+        reg.inc("train.epochs_total", target=ctx.target)
+        reg.set("train.loss", metrics.loss, target=ctx.target)
+        reg.observe("train.grad_norm", metrics.grad_norm, target=ctx.target)
+        reg.observe(
+            "train.epoch_seconds",
+            metrics.seconds,
+            buckets=EPOCH_SECONDS_BUCKETS,
+            target=ctx.target,
+        )
+
+    def on_divergence(self, ctx, epoch, reason) -> None:
+        self._reg().inc("train.divergences_total", target=ctx.target)
+
+    def on_checkpoint(self, ctx, path) -> None:
+        self._reg().inc("train.checkpoints_total", target=ctx.target)
+
+    def on_train_end(self, ctx, history) -> None:
+        reg = self._reg()
+        reg.set("train.final_loss", history.final_loss, target=ctx.target)
+        if history.stopped_early:
+            reg.inc("train.early_stops_total", target=ctx.target)
+
+    def __getstate__(self):
+        # never pickle a registry across processes; rebind on the far side
+        return {"_registry": None}
+
+    def __setstate__(self, state):
+        self._registry = None

@@ -1,0 +1,256 @@
+"""Trace exporters: JSONL event log, Chrome trace JSON, summary tables.
+
+Three consumers, three formats:
+
+* ``write_jsonl`` — one JSON object per line (spans then metrics), the
+  machine-readable log downstream tooling greps or tails.
+* ``write_chrome_trace`` — the Trace Event Format understood by Perfetto
+  and ``chrome://tracing``: spans become complete (``"ph": "X"``) events on
+  their thread's track; the metrics snapshot rides along under
+  ``otherData`` (ignored by viewers, preserved for ``obs report``).
+* ``render_summary`` — the per-stage wall/CPU/memory aggregation behind
+  ``repro obs report``.
+
+``load_events`` reads back either file format, so a report can be produced
+from whichever artifact a run kept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.tables import render_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord, Tracer
+
+
+def _span_rows(tracer: Tracer) -> list[dict]:
+    return [span.as_row() for span in tracer.spans()]
+
+
+def write_jsonl(
+    path: str | os.PathLike,
+    tracer: Tracer,
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """Append spans + a metrics snapshot to *path*, one JSON object per line."""
+    path = str(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as handle:
+        for row in _span_rows(tracer):
+            handle.write(json.dumps(row) + "\n")
+        if registry is not None:
+            for row in registry.snapshot():
+                handle.write(json.dumps(row) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Spans as Trace Event Format complete events (microsecond timestamps)."""
+    pid = os.getpid()
+    events: list[dict] = []
+    seen_threads: dict[int, str] = {}
+    for span in tracer.spans():
+        seen_threads.setdefault(span.thread_id, span.thread_name)
+        args = dict(span.attrs)
+        args["cpu_ms"] = round(span.cpu * 1e3, 3)
+        args["rss_kb"] = span.rss_kb
+        args["depth"] = span.depth
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        if span.mem_delta is not None:
+            args["mem_delta_kb"] = round(span.mem_delta / 1024.0, 1)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(span.t_wall * 1e6, 1),
+                "dur": round(span.duration * 1e6, 1),
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": args,
+            }
+        )
+    for tid, name in seen_threads.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str | os.PathLike,
+    tracer: Tracer,
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """Write a Perfetto/``chrome://tracing``-loadable trace file."""
+    path = str(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "metrics": registry.snapshot() if registry is not None else [],
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Reading traces back
+# ----------------------------------------------------------------------
+def load_events(path: str | os.PathLike) -> tuple[list[dict], list[dict]]:
+    """(span rows, metric rows) from a Chrome trace or an obs JSONL file.
+
+    Span rows come back in the JSONL schema (``name``/``duration``/``cpu``/
+    ``rss_kb``/``mem_delta``) regardless of the on-disk format.
+    """
+    path = str(path)
+    with open(path) as handle:
+        text = handle.read()
+    try:  # a Chrome trace is one JSON document; JSONL fails with extra data
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict):
+        spans = []
+        for event in payload.get("traceEvents", []):
+            if event.get("ph") != "X":
+                continue
+            args = event.get("args", {})
+            mem_kb = args.get("mem_delta_kb")
+            spans.append(
+                {
+                    "type": "span",
+                    "name": event["name"],
+                    "thread": event.get("tid"),
+                    "t_wall": event.get("ts", 0.0) / 1e6,
+                    "duration": event.get("dur", 0.0) / 1e6,
+                    "cpu": args.get("cpu_ms", 0.0) / 1e3,
+                    "rss_kb": args.get("rss_kb", 0),
+                    "depth": args.get("depth", 0),
+                    "parent": args.get("parent"),
+                    "mem_delta": (
+                        None if mem_kb is None else int(mem_kb * 1024)
+                    ),
+                    "attrs": {
+                        k: v
+                        for k, v in args.items()
+                        if k not in ("cpu_ms", "rss_kb", "mem_delta_kb",
+                                     "depth", "parent")
+                    },
+                }
+            )
+        metrics = payload.get("otherData", {}).get("metrics", [])
+        return spans, metrics
+    rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    spans = [row for row in rows if row.get("type") == "span"]
+    metrics = [row for row in rows if row.get("type") == "metric"]
+    return spans, metrics
+
+
+# ----------------------------------------------------------------------
+# Aggregated summary
+# ----------------------------------------------------------------------
+def summarize_spans(spans: list[dict]) -> list[dict]:
+    """Aggregate span rows by name: calls, wall/CPU totals, memory."""
+    stages: dict[str, dict] = {}
+    for span in spans:
+        stage = stages.setdefault(
+            span["name"],
+            {
+                "stage": span["name"],
+                "calls": 0,
+                "wall": 0.0,
+                "cpu": 0.0,
+                "max_wall": 0.0,
+                "rss_kb": 0,
+                "mem_delta": 0,
+                "has_mem": False,
+            },
+        )
+        stage["calls"] += 1
+        stage["wall"] += span["duration"]
+        stage["cpu"] += span.get("cpu") or 0.0
+        stage["max_wall"] = max(stage["max_wall"], span["duration"])
+        stage["rss_kb"] = max(stage["rss_kb"], span.get("rss_kb") or 0)
+        if span.get("mem_delta") is not None:
+            stage["mem_delta"] += span["mem_delta"]
+            stage["has_mem"] = True
+    for stage in stages.values():
+        stage["mean_wall"] = stage["wall"] / stage["calls"]
+    return sorted(stages.values(), key=lambda s: -s["wall"])
+
+
+def render_summary(spans: list[dict], metrics: list[dict] | None = None) -> str:
+    """Per-stage time/memory table (plus key metrics) for ``obs report``."""
+    if not spans:
+        return "trace contains no spans"
+    stages = summarize_spans(spans)
+    # % is relative to the top-level work: spans with no recorded parent
+    # (chrome traces keep nesting visually, so fall back to the largest stage)
+    roots = [s for s in spans if s.get("parent") is None and s.get("depth", 0) == 0]
+    total_wall = (
+        sum(s["duration"] for s in roots)
+        if roots
+        else max(stage["wall"] for stage in stages)
+    )
+    rows = []
+    for stage in stages:
+        mem = (
+            f"{stage['mem_delta'] / 1024.0:+.0f}K" if stage["has_mem"] else "-"
+        )
+        rows.append(
+            [
+                stage["stage"],
+                stage["calls"],
+                f"{stage['wall'] * 1e3:.1f}",
+                f"{100.0 * stage['wall'] / total_wall:.1f}%" if total_wall else "-",
+                f"{stage['mean_wall'] * 1e3:.2f}",
+                f"{stage['max_wall'] * 1e3:.2f}",
+                f"{stage['cpu'] * 1e3:.1f}",
+                mem,
+                stage["rss_kb"],
+            ]
+        )
+    text = render_table(
+        ["stage", "calls", "wall ms", "%", "mean ms", "max ms",
+         "cpu ms", "alloc", "rss KiB"],
+        rows,
+        title="Per-stage observability summary",
+    )
+    if metrics:
+        lines = [text, "", "Metrics:"]
+        for row in metrics:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(row.get("labels", {}).items())
+            )
+            name = f"{row['name']}{{{labels}}}" if labels else row["name"]
+            if row["kind"] == "histogram":
+                value = (
+                    f"n={row['count']} mean={row['mean']:.4g}"
+                    if row.get("count")
+                    else "n=0"
+                )
+            else:
+                value = f"{row['value']:.6g}"
+            lines.append(f"  {name:44s} {value}")
+        text = "\n".join(lines)
+    return text

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.sim.mna import MnaSystem
 
@@ -76,14 +77,19 @@ def ac_analysis(
     freqs = np.logspace(np.log10(f_start), np.log10(f_stop), n_points)
     response = np.empty(n_points, dtype=np.complex128)
     rhs = system.b.astype(np.complex128)
-    for i, f in enumerate(freqs):
-        omega = 2 * np.pi * f
-        matrix = system.G + 1j * omega * system.C
-        # MNA matrices are badly scaled by construction (fF vs S vs the
-        # source row); LU still solves them fine, so use the quiet solver.
-        try:
-            x = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SimulationError(f"singular MNA matrix at {f:.3g} Hz") from exc
-        response[i] = x[out]
+    with obs.span("sim.ac", output=output_net, points=n_points):
+        for i, f in enumerate(freqs):
+            omega = 2 * np.pi * f
+            matrix = system.G + 1j * omega * system.C
+            # MNA matrices are badly scaled by construction (fF vs S vs the
+            # source row); LU still solves them fine, so use the quiet solver.
+            try:
+                x = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(
+                    f"singular MNA matrix at {f:.3g} Hz"
+                ) from exc
+            response[i] = x[out]
+    obs.inc("sim.ac_sweeps_total")
+    obs.inc("sim.ac_points_total", n_points)
     return AcSweep(frequencies=freqs, response=response)

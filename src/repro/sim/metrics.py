@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.circuits.netlist import Circuit
 from repro.errors import SimulationError
 from repro.sim.ac import AcSweep, ac_analysis
@@ -77,31 +78,34 @@ def compute_metrics(
     The transient window adapts to the circuit's 3 dB bandwidth so fast and
     slow circuits are both resolved with *transient_resolution* steps.
     """
-    system = build_mna(bench.circuit, bench.input_net, annotations)
-    values: dict[str, float] = {}
+    with obs.span("sim.bench", bench=bench.name):
+        system = build_mna(bench.circuit, bench.input_net, annotations)
+        values: dict[str, float] = {}
 
-    needs_ac = any(m in AC_METRICS for m in bench.metrics)
-    needs_tran = any(m in TRAN_METRICS for m in bench.metrics)
-    sweep = None
-    if needs_ac or needs_tran:
-        sweep = ac_analysis(system, bench.output_net)
-    for metric in bench.metrics:
-        if metric in AC_METRICS:
-            values[metric] = _ac_value(sweep, metric)
-    if needs_tran:
-        bandwidth = max(sweep.bandwidth_3db(), 1e6)
-        t_stop = float(np.clip(3.0 / bandwidth, 50e-12, 100e-9))
-        result = transient_step(
-            system,
-            bench.output_net,
-            t_stop=t_stop,
-            dt=t_stop / transient_resolution,
-        )
+        needs_ac = any(m in AC_METRICS for m in bench.metrics)
+        needs_tran = any(m in TRAN_METRICS for m in bench.metrics)
+        sweep = None
+        if needs_ac or needs_tran:
+            sweep = ac_analysis(system, bench.output_net)
         for metric in bench.metrics:
-            if metric in TRAN_METRICS:
-                values[metric] = _tran_value(result, metric)
-    if "cap_total" in bench.metrics:
-        values["cap_total"] = _cap_total(system)
+            if metric in AC_METRICS:
+                values[metric] = _ac_value(sweep, metric)
+        if needs_tran:
+            bandwidth = max(sweep.bandwidth_3db(), 1e6)
+            t_stop = float(np.clip(3.0 / bandwidth, 50e-12, 100e-9))
+            result = transient_step(
+                system,
+                bench.output_net,
+                t_stop=t_stop,
+                dt=t_stop / transient_resolution,
+            )
+            for metric in bench.metrics:
+                if metric in TRAN_METRICS:
+                    values[metric] = _tran_value(result, metric)
+        if "cap_total" in bench.metrics:
+            values["cap_total"] = _cap_total(system)
+    obs.inc("sim.benches_total")
+    obs.inc("sim.metrics_computed_total", len(values))
     return values
 
 

@@ -9,6 +9,7 @@ report gain/bandwidth metrics; signal-path benches report delay/slew;
 
 from __future__ import annotations
 
+from repro import obs
 from repro.circuits import devices as dev
 from repro.circuits.generators import analog, digital, mixed
 from repro.circuits.netlist import Circuit
@@ -27,6 +28,7 @@ def _with_load(block: Circuit, port_map: dict[str, str], name: str,
     return bench
 
 
+@obs.traced("sim.build_suite")
 def build_testbenches() -> list[Testbench]:
     """Construct the full metric suite (67 metrics across 16 benches)."""
     benches: list[Testbench] = []

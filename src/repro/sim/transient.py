@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.linalg
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.sim.mna import MnaSystem
 
@@ -82,22 +83,27 @@ def transient_step(
     """
     out = system.node(output_net)
     steps = max(2, int(round(t_stop / dt)))
-    time = np.arange(steps + 1) * dt
-    a_matrix = system.C / dt + system.G / 2.0
-    b_matrix = system.C / dt - system.G / 2.0
-    try:
-        lu = scipy.linalg.lu_factor(a_matrix)
-    except scipy.linalg.LinAlgError as exc:
-        raise SimulationError("singular transient system matrix") from exc
-    size = len(system.b)
-    x = np.zeros(size)
-    source = system.b * input_level
-    rail = clip_factor * abs(input_level)
-    waveform = np.empty(steps + 1)
-    waveform[0] = x[out]
-    for k in range(1, steps + 1):
-        rhs = b_matrix @ x + source  # (b_k + b_{k-1})/2 = source after t=0
-        x = scipy.linalg.lu_solve(lu, rhs)
-        np.clip(x[: system.num_nodes], -rail, rail, out=x[: system.num_nodes])
-        waveform[k] = x[out]
+    with obs.span("sim.transient", output=output_net, steps=steps):
+        time = np.arange(steps + 1) * dt
+        a_matrix = system.C / dt + system.G / 2.0
+        b_matrix = system.C / dt - system.G / 2.0
+        try:
+            lu = scipy.linalg.lu_factor(a_matrix)
+        except scipy.linalg.LinAlgError as exc:
+            raise SimulationError("singular transient system matrix") from exc
+        size = len(system.b)
+        x = np.zeros(size)
+        source = system.b * input_level
+        rail = clip_factor * abs(input_level)
+        waveform = np.empty(steps + 1)
+        waveform[0] = x[out]
+        for k in range(1, steps + 1):
+            rhs = b_matrix @ x + source  # (b_k + b_{k-1})/2 = source after t=0
+            x = scipy.linalg.lu_solve(lu, rhs)
+            np.clip(
+                x[: system.num_nodes], -rail, rail, out=x[: system.num_nodes]
+            )
+            waveform[k] = x[out]
+    obs.inc("sim.transients_total")
+    obs.inc("sim.transient_steps_total", steps)
     return TransientResult(time=time, waveform=waveform, input_level=input_level)

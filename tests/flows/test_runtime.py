@@ -292,3 +292,151 @@ class TestParallelTraining:
         )
         rows = [json.loads(line) for line in path.read_text().splitlines()]
         assert {row["target"] for row in rows} == {"CAP", "SA"}
+
+
+class TestJsonlCrashSafety:
+    @staticmethod
+    def _ctx():
+        from repro.flows.runtime import TrainContext
+
+        return TrainContext(
+            conv="paragraph", target="CAP", total_epochs=4, attempt=0, run_seed=0
+        )
+
+    @staticmethod
+    def _metrics(epoch):
+        from repro.flows.runtime import EpochMetrics
+
+        return EpochMetrics(
+            epoch=epoch, loss=1.0 / epoch, grad_norm=0.1, lr=1e-3, seconds=0.05
+        )
+
+    def test_partial_last_line_tolerated_on_resume(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        # a crash mid-write leaves a truncated, newline-less last line
+        path.write_text(
+            '{"event": "start", "conv": "paragraph"}\n{"event": "epo'
+        )
+        writer = JsonlMetricsWriter(path)
+        writer.on_epoch_end(self._ctx(), self._metrics(1))
+        writer.on_epoch_end(self._ctx(), self._metrics(2))
+
+        lines = path.read_text().splitlines()
+        parseable, malformed = [], []
+        for line in lines:
+            try:
+                parseable.append(json.loads(line))
+            except json.JSONDecodeError:
+                malformed.append(line)
+        # only the crashed line is lost; everything after it parses
+        assert malformed == ['{"event": "epo']
+        assert [row["event"] for row in parseable] == ["start", "epoch", "epoch"]
+        assert parseable[-1]["epoch"] == 2
+
+    def test_no_repair_on_clean_or_missing_file(self, tmp_path):
+        missing = JsonlMetricsWriter(tmp_path / "fresh.jsonl")
+        missing.on_epoch_end(self._ctx(), self._metrics(1))
+        (line,) = (tmp_path / "fresh.jsonl").read_text().splitlines()
+        assert json.loads(line)["event"] == "epoch"
+
+        clean = tmp_path / "clean.jsonl"
+        clean.write_text('{"event": "start"}\n')
+        JsonlMetricsWriter(clean).on_epoch_end(self._ctx(), self._metrics(1))
+        assert len(clean.read_text().splitlines()) == 2
+
+    def test_checkpoint_rows_are_fsynced(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            os_module, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        writer = JsonlMetricsWriter(tmp_path / "metrics.jsonl")
+        writer.on_epoch_end(self._ctx(), self._metrics(1))
+        assert synced == []  # epoch rows stay buffered
+        writer.on_checkpoint(self._ctx(), "ckpt.npz")
+        assert len(synced) == 1  # checkpoint rows hit the disk
+
+    def test_writer_resumes_across_instances(self, tmp_path, tiny_bundle):
+        """End-to-end: interrupted run + resume appends to the same log."""
+        path = tmp_path / "metrics.jsonl"
+        rt = RuntimeConfig(
+            metrics_jsonl=str(path),
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=2,
+        )
+        TargetPredictor("paragraph", "CAP", _quick_config(epochs=2)).fit(
+            tiny_bundle, runtime=rt
+        )
+        # simulate the crash: truncate the final bytes of the log
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])
+
+        TargetPredictor("paragraph", "CAP", _quick_config(epochs=4)).fit(
+            tiny_bundle,
+            runtime=RuntimeConfig(metrics_jsonl=str(path)),
+            resume_from=tmp_path / "paragraph-CAP-epoch00002.npz",
+        )
+        lines = path.read_text().splitlines()
+        bad = 0
+        events = []
+        for line in lines:
+            try:
+                events.append(json.loads(line)["event"])
+            except json.JSONDecodeError:
+                bad += 1
+        assert bad == 1
+        assert events[-1] == "end"
+        assert events.count("epoch") >= 3  # 1 surviving + 2 resumed
+
+
+class TestProgressReporterPacing:
+    def _drive(self, reporter, epochs, total, seconds=0.5):
+        from repro.flows.runtime import EpochMetrics, TrainContext
+
+        ctx = TrainContext(
+            conv="paragraph", target="CAP", total_epochs=total,
+            attempt=0, run_seed=0,
+        )
+        reporter.on_train_start(ctx)
+        for epoch in range(1, epochs + 1):
+            reporter.on_epoch_end(
+                ctx,
+                EpochMetrics(epoch=epoch, loss=0.5, grad_norm=0.1,
+                             lr=1e-3, seconds=seconds),
+            )
+
+    def test_reports_rate_and_eta(self, capsys):
+        self._drive(ConsoleProgressReporter(every=2), epochs=2, total=10)
+        out = capsys.readouterr().out
+        assert "epoch 2/10" in out
+        assert "2.0ep/s" in out  # 2 epochs in 1.0s
+        assert "eta 4s" in out  # 8 remaining at 2 ep/s
+
+    def test_eta_formats_large_remainders(self, capsys):
+        self._drive(
+            ConsoleProgressReporter(every=1), epochs=1, total=7201, seconds=1.0
+        )
+        out = capsys.readouterr().out
+        assert "eta 2.0h" in out
+
+    def test_short_run_prints_exactly_one_stable_line(self, capsys):
+        # total_epochs < every: the final epoch must still report
+        self._drive(ConsoleProgressReporter(every=10), epochs=3, total=3)
+        lines = [
+            l for l in capsys.readouterr().out.splitlines() if "epoch" in l
+        ]
+        assert len(lines) == 1
+        assert "epoch 3/3" in lines[0]
+        assert "eta 0s" in lines[0]
+
+    def test_rate_resets_between_attempts(self, capsys):
+        reporter = ConsoleProgressReporter(every=1)
+        self._drive(reporter, epochs=1, total=2, seconds=1.0)
+        self._drive(reporter, epochs=1, total=2, seconds=0.25)
+        first, second = [
+            l for l in capsys.readouterr().out.splitlines() if "ep/s" in l
+        ]
+        assert "1.0ep/s" in first
+        assert "4.0ep/s" in second  # not polluted by the earlier attempt

@@ -1,0 +1,34 @@
+"""Observability tests share the process-wide obs singletons.
+
+Each test starts from a disabled, empty tracer/registry; whatever state the
+wider session had (e.g. a ``REPRO_OBS_JSONL`` collection run) is stashed
+first and restored afterwards, so these tests neither see nor destroy it.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    tracer, registry = obs.tracer(), obs.registry()
+    was_enabled = tracer.enabled
+    was_memory = tracer._memory
+    with tracer._lock:
+        saved_spans, saved_next_id = tracer._spans, tracer._next_id
+    with registry._lock:
+        saved_metrics = registry._metrics
+
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+    with tracer._lock:
+        tracer._spans, tracer._next_id = saved_spans, saved_next_id
+    with registry._lock:
+        registry._metrics = saved_metrics
+    if was_enabled:
+        obs.enable(memory=was_memory)

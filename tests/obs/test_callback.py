@@ -1,0 +1,68 @@
+"""ObsTrainCallback: the TrainCallback -> metrics-registry bridge."""
+
+import pickle
+
+from repro import obs
+from repro.flows.runtime import EpochMetrics, TrainContext
+from repro.models.trainer import TrainHistory
+from repro.obs.callback import ObsTrainCallback
+
+
+def _ctx(**kwargs):
+    defaults = dict(
+        conv="paragraph", target="CAP", total_epochs=4, attempt=0, run_seed=0
+    )
+    defaults.update(kwargs)
+    return TrainContext(**defaults)
+
+
+def _drive(callback, epochs=2):
+    ctx = _ctx()
+    callback.on_train_start(ctx)
+    for epoch in range(1, epochs + 1):
+        callback.on_epoch_end(
+            ctx,
+            EpochMetrics(
+                epoch=epoch, loss=1.0 / epoch, grad_norm=0.5,
+                lr=1e-3, seconds=0.1,
+            ),
+        )
+    callback.on_checkpoint(ctx, "ckpt.npz")
+    callback.on_train_end(
+        ctx,
+        TrainHistory(losses=[1.0, 0.5], grad_norms=[0.5, 0.5],
+                     epoch_seconds=[0.1, 0.1]),
+    )
+
+
+class TestObsTrainCallback:
+    def test_bridges_events_into_registry(self):
+        obs.enable()
+        _drive(ObsTrainCallback())
+        reg = obs.registry()
+        assert reg.counter("train.runs_total", target="CAP").value == 1
+        assert reg.counter("train.epochs_total", target="CAP").value == 2
+        assert reg.counter("train.checkpoints_total", target="CAP").value == 1
+        assert reg.gauge("train.loss", target="CAP").value == 0.5
+        assert reg.gauge("train.final_loss", target="CAP").value == 0.5
+        hist = reg.histogram("train.epoch_seconds", target="CAP")
+        assert hist.count == 2
+
+    def test_appended_by_runtime_config_when_enabled(self):
+        from repro.flows.runtime import RuntimeConfig
+
+        assert not any(
+            isinstance(cb, ObsTrainCallback)
+            for cb in RuntimeConfig().build_callbacks()
+        )
+        obs.enable()
+        assert any(
+            isinstance(cb, ObsTrainCallback)
+            for cb in RuntimeConfig().build_callbacks()
+        )
+
+    def test_survives_pickling(self):
+        obs.enable()
+        callback = pickle.loads(pickle.dumps(ObsTrainCallback()))
+        _drive(callback)
+        assert obs.registry().counter("train.epochs_total", target="CAP").value == 2

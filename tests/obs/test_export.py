@@ -1,0 +1,111 @@
+"""Exporters: JSONL, Chrome trace_event JSON, report round-trips."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import load_events, render_summary, summarize_spans
+
+
+def _record_workload():
+    obs.enable()
+    with obs.span("phase.outer", circuit="t1"):
+        with obs.span("phase.inner"):
+            pass
+        with obs.span("phase.inner"):
+            pass
+    obs.inc("graphs_built_total", 3)
+    obs.observe("graph.nodes", 120.0)
+    obs.disable()
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        _record_workload()
+        path = tmp_path / "events.jsonl"
+        obs.export_jsonl(path)
+        spans, metrics = load_events(path)
+        assert [s["name"] for s in spans] == [
+            "phase.inner", "phase.inner", "phase.outer"
+        ]
+        assert {m["name"] for m in metrics} == {"graphs_built_total", "graph.nodes"}
+        outer = spans[2]
+        assert outer["parent"] is None and outer["depth"] == 0
+        assert all(s["parent"] == outer["id"] for s in spans[:2])
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        _record_workload()
+        path = tmp_path / "events.jsonl"
+        obs.export_jsonl(path)
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["type"] in ("span", "metric")
+
+    def test_append_only(self, tmp_path):
+        _record_workload()
+        path = tmp_path / "events.jsonl"
+        obs.export_jsonl(path)
+        first = len(path.read_text().splitlines())
+        obs.export_jsonl(path)
+        assert len(path.read_text().splitlines()) == 2 * first
+
+
+class TestChromeTrace:
+    def test_file_is_loadable_trace_event_json(self, tmp_path):
+        _record_workload()
+        path = tmp_path / "trace.json"
+        obs.export_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3
+        assert meta and meta[0]["name"] == "thread_name"
+        for event in complete:
+            # microsecond timestamps, the unit chrome://tracing expects
+            assert event["ts"] > 1e12
+            assert event["dur"] >= 0
+            assert "cpu_ms" in event["args"]
+        inner = [e for e in complete if e["name"] == "phase.inner"]
+        outer = next(e for e in complete if e["name"] == "phase.outer")
+        assert outer["args"]["depth"] == 0 and "parent" not in outer["args"]
+        for event in inner:
+            assert event["args"]["depth"] == 1
+            assert "parent" in event["args"]
+        assert payload["otherData"]["metrics"]
+
+    def test_round_trip_matches_jsonl_report(self, tmp_path):
+        _record_workload()
+        chrome, jsonl = tmp_path / "trace.json", tmp_path / "events.jsonl"
+        obs.export_chrome_trace(chrome)
+        obs.export_jsonl(jsonl)
+        # same per-stage summary whichever artifact the report reads
+        report_chrome = render_summary(*load_events(chrome))
+        report_jsonl = render_summary(*load_events(jsonl))
+        chrome_stages = [l.split("|")[0] for l in report_chrome.splitlines()]
+        jsonl_stages = [l.split("|")[0] for l in report_jsonl.splitlines()]
+        assert chrome_stages == jsonl_stages
+
+
+class TestSummary:
+    def test_aggregates_by_stage(self):
+        _record_workload()
+        rows = summarize_spans([s.as_row() for s in obs.tracer().spans()])
+        by_stage = {r["stage"]: r for r in rows}
+        assert by_stage["phase.inner"]["calls"] == 2
+        assert by_stage["phase.outer"]["calls"] == 1
+        assert by_stage["phase.outer"]["wall"] >= by_stage["phase.inner"]["wall"]
+
+    def test_render_contains_stages_and_metrics(self):
+        _record_workload()
+        text = render_summary(
+            [s.as_row() for s in obs.tracer().spans()],
+            obs.registry().snapshot(),
+        )
+        assert "phase.outer" in text
+        assert "phase.inner" in text
+        assert "graphs_built_total" in text
+        assert "100.0%" in text  # the root span is all of the wall time
+
+    def test_empty_trace_message(self):
+        assert "no spans" in render_summary([])

@@ -1,0 +1,97 @@
+"""Metrics registry: counters, gauges, histograms, labels, snapshots."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, reg):
+        reg.inc("graphs_built_total")
+        reg.inc("graphs_built_total", 4)
+        assert reg.counter("graphs_built_total").value == 5
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.inc("graphs_built_total", -1)
+
+    def test_labels_create_separate_series(self, reg):
+        reg.inc("ensemble.range_selected", 2, max_v="1e-15")
+        reg.inc("ensemble.range_selected", 3, max_v="inf")
+        assert reg.counter("ensemble.range_selected", max_v="1e-15").value == 2
+        assert reg.counter("ensemble.range_selected", max_v="inf").value == 3
+
+    def test_thread_safe_increments(self, reg):
+        def bump():
+            for _ in range(1000):
+                reg.inc("contended_total")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("contended_total").value == 4000
+
+
+class TestGauge:
+    def test_last_write_wins(self, reg):
+        reg.set("train.loss", 0.5, target="CAP")
+        reg.set("train.loss", 0.25, target="CAP")
+        assert reg.gauge("train.loss", target="CAP").value == 0.25
+
+
+class TestHistogram:
+    def test_bucket_assignment(self, reg):
+        buckets = (1.0, 10.0, math.inf)
+        for v in (0.5, 5.0, 50.0, 500.0):
+            reg.observe("train.epoch_seconds", v, buckets=buckets)
+        hist = reg.histogram("train.epoch_seconds", buckets=buckets)
+        assert hist.counts == [1, 1, 2]
+        assert hist.count == 4
+        assert hist.min == 0.5 and hist.max == 500.0
+        assert hist.mean == pytest.approx(138.875)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(name="bad", buckets=(2.0, 1.0))
+
+    def test_empty_histogram_mean_is_nan(self, reg):
+        assert math.isnan(reg.histogram("unused").mean)
+
+
+class TestSnapshot:
+    def test_rows_are_json_ready_and_sorted(self, reg):
+        reg.inc("b_total")
+        reg.set("a_gauge", 1.5)
+        reg.observe("c_hist", 2.0)
+        rows = reg.snapshot()
+        assert [r["name"] for r in rows] == ["a_gauge", "b_total", "c_hist"]
+        assert all(r["type"] == "metric" for r in rows)
+        kinds = {r["name"]: r["kind"] for r in rows}
+        assert kinds == {"a_gauge": "gauge", "b_total": "counter", "c_hist": "histogram"}
+        hist = rows[2]
+        assert hist["count"] == 1 and hist["sum"] == 2.0
+        # inf bound is serialized as None so the row is valid strict JSON
+        assert hist["buckets"][-1][0] is None
+
+    def test_reset_clears(self, reg):
+        reg.inc("gone_total")
+        reg.reset()
+        assert reg.snapshot() == []
+
+    def test_render_lists_all_metrics(self, reg):
+        reg.inc("graphs_built_total", 7)
+        reg.observe("graph.nodes", 123.0, buckets=DEFAULT_BUCKETS)
+        text = reg.render()
+        assert "graphs_built_total" in text
+        assert "graph.nodes" in text
+        assert "7" in text

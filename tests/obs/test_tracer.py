@@ -1,0 +1,147 @@
+"""Span tracer: nesting, threading, disabled fast path, memory tracking."""
+
+import threading
+import time
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_disabled_span_is_shared_null_object(self):
+        assert obs.span("anything", key="value") is NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        with obs.span("ignored"):
+            pass
+        obs.inc("ignored_total")
+        obs.set_gauge("ignored_gauge", 1.0)
+        obs.observe("ignored_hist", 1.0)
+        assert obs.tracer().spans() == []
+        assert obs.registry().snapshot() == []
+
+    def test_traced_decorator_free_when_disabled(self):
+        @obs.traced("ignored.fn")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2
+        assert obs.tracer().spans() == []
+
+
+class TestNesting:
+    def test_parent_child_structure(self):
+        obs.enable()
+        with obs.span("outer", circuit="c1"):
+            with obs.span("inner"):
+                time.sleep(0.001)
+            with obs.span("inner"):
+                pass
+        spans = obs.tracer().spans()
+        # children finish before their parent, so the parent is last
+        assert [s.name for s in spans] == ["inner", "inner", "outer"]
+        outer = spans[2]
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        assert outer.attrs == {"circuit": "c1"}
+        for inner in spans[:2]:
+            assert inner.parent_id == outer.span_id
+            assert inner.depth == 1
+            assert inner.duration <= outer.duration
+        assert outer.duration >= 0.001
+
+    def test_sibling_roots(self):
+        obs.enable()
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        first, second = obs.tracer().spans()
+        assert first.parent_id is None and second.parent_id is None
+        assert first.span_id != second.span_id
+
+    def test_decorator_records_span(self):
+        obs.enable()
+
+        @obs.traced()
+        def workload():
+            return 42
+
+        assert workload() == 42
+        (span,) = obs.tracer().spans()
+        assert "workload" in span.name
+
+    def test_cpu_and_rss_recorded(self):
+        obs.enable()
+        with obs.span("busy"):
+            sum(i * i for i in range(50_000))
+        (span,) = obs.tracer().spans()
+        assert span.cpu > 0
+        assert span.rss_kb > 0
+        assert span.mem_delta is None  # memory mode off
+
+    def test_memory_mode_records_delta(self):
+        obs.enable(memory=True)
+        keep = []
+        with obs.span("alloc"):
+            keep.append(bytearray(512 * 1024))
+        (span,) = obs.tracer().spans()
+        assert span.mem_delta is not None
+        assert span.mem_delta > 400 * 1024
+
+    def test_reset_clears_spans(self):
+        obs.enable()
+        with obs.span("gone"):
+            pass
+        obs.reset()
+        assert obs.tracer().spans() == []
+
+
+class TestThreading:
+    def test_nesting_is_per_thread(self):
+        obs.enable()
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait()
+            with obs.span("thread.outer", worker=i):
+                with obs.span("thread.inner", worker=i):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        spans = obs.tracer().spans()
+        assert len(spans) == 8
+        outers = {s.thread_id: s for s in spans if s.name == "thread.outer"}
+        inners = [s for s in spans if s.name == "thread.inner"]
+        assert len(outers) == 4 and len(inners) == 4
+        for inner in inners:
+            # each inner is parented to the outer of its OWN thread
+            outer = outers[inner.thread_id]
+            assert inner.parent_id == outer.span_id
+            assert inner.attrs["worker"] == outer.attrs["worker"]
+            assert inner.depth == 1
+
+    def test_span_ids_unique_across_threads(self):
+        obs.enable()
+
+        def work():
+            for _ in range(20):
+                with obs.span("contended"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [s.span_id for s in obs.tracer().spans()]
+        assert len(ids) == 80
+        assert len(set(ids)) == 80

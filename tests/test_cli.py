@@ -149,3 +149,85 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestPredictCliEndToEnd:
+    @pytest.fixture(scope="class")
+    def cap_model(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("model") / "cap.npz"
+        assert main(
+            ["train", "--target", "CAP", "--epochs", "3",
+             "--scale", "0.05", "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_predict_reports_every_net(self, cap_model, tmp_path, capsys):
+        netlist = tmp_path / "amp.sp"
+        netlist.write_text(SPICE_OTA)
+        code = main(["predict", "--model", str(cap_model), "--netlist", str(netlist)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CAP predictions" in out
+        # one line per net of the tiny amplifier, in engineering notation
+        for net in ("in", "out"):
+            line = next(l for l in out.splitlines() if l.split() and l.split()[0] == net)
+            assert line.split()[-1].endswith("F")
+
+    def test_predict_values_are_finite_and_positive(self, cap_model, tmp_path, capsys):
+        netlist = tmp_path / "amp.sp"
+        netlist.write_text(SPICE_OTA)
+        from repro.models import TargetPredictor
+
+        predictor = TargetPredictor.load(str(cap_model))
+        with open(netlist) as handle:
+            circuit = read_spice(handle, name="amp")
+        predictions = predictor.predict_circuit(circuit)
+        assert predictions
+        assert all(np.isfinite(v) for v in predictions.values())
+
+
+class TestObsCli:
+    def test_trace_and_jsonl_flags_then_report(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        code = main(
+            ["train", "--target", "CAP", "--epochs", "2",
+             "--scale", "0.05", "--out", str(tmp_path / "cap.npz"),
+             "--trace", str(trace), "--obs-jsonl", str(events)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert {"train.fit", "train.epoch", "graph.build"} <= names
+
+        assert main(["obs", "report", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "train.fit" in report and "train.epoch" in report
+        assert "graphs_built_total" in report
+
+        assert main(["obs", "report", str(events)]) == 0
+        assert "train.fit" in capsys.readouterr().out
+
+    def test_trace_flag_accepted_before_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["--trace", str(trace), "dataset", "--scale", "0.05"]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        assert "layout.synthesize" in capsys.readouterr().out
+
+    def test_report_on_empty_file_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "report", str(empty)]) == 2
+        assert "no observability events" in capsys.readouterr().err
+
+    def test_obs_disabled_after_traced_run(self, tmp_path):
+        from repro import obs
+
+        main(["--trace", str(tmp_path / "t.json"), "dataset", "--scale", "0.05"])
+        assert not obs.is_enabled()
