@@ -1,0 +1,66 @@
+"""Deprecation shims bridging the pre-`repro.api` entry points.
+
+The old prediction surface (``TargetPredictor.predict_named``,
+``TargetPredictor.predict_circuit``, ``CapacitanceEnsemble.predict_named``,
+``MultiTargetModel.predict_all``, ``BaselinePredictor.predict_named``)
+survives as thin wrappers over the unified facade.  Each wrapper:
+
+* emits exactly **one** :class:`DeprecationWarning` per process per entry
+  point (so a tight prediction loop does not spam stderr), and
+* produces its dict through the same :func:`named_from_arrays`
+  normalisation the new :class:`~repro.api.types.TargetPrediction` uses,
+  so the two surfaces can never drift apart again.
+
+The old key shape (bare net/instance names) is preserved verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import numpy as np
+
+_WARNED: set[str] = set()
+_LOCK = threading.Lock()
+
+
+def warn_deprecated(entry_point: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` per process per entry point."""
+    with _LOCK:
+        if entry_point in _WARNED:
+            return
+        _WARNED.add(entry_point)
+    warnings.warn(
+        f"{entry_point} is deprecated; use {replacement} "
+        "(see docs/api.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which entry points already warned (test helper)."""
+    with _LOCK:
+        _WARNED.clear()
+
+
+def deprecated_entry_points() -> tuple[str, ...]:
+    """Entry points that have warned so far in this process (sorted)."""
+    with _LOCK:
+        return tuple(sorted(_WARNED))
+
+
+def named_from_arrays(graph, ids, values) -> dict[str, float]:
+    """The one true array->dict projection: bare node names, float values.
+
+    Every ``predict_named``-style shim and the new
+    :class:`~repro.api.types.TargetPrediction` build their dicts through
+    this function, which is what keeps net- and device-target key naming
+    consistent across model families.
+    """
+    names = graph.node_name_of
+    return {
+        names[int(node_id)]: float(value)
+        for node_id, value in zip(np.asarray(ids), np.asarray(values))
+    }

@@ -1,0 +1,448 @@
+"""The inference engine behind the unified prediction API.
+
+:class:`Engine` owns three things:
+
+* a :class:`~repro.serve.registry.ModelRegistry` of warm-loaded models
+  (every family answers through the same adapter contract),
+* a :class:`~repro.serve.cache.GraphCache` so repeated predictions on the
+  same circuit skip ``build_graph`` + ``FeatureScaler`` work entirely, and
+* a lazily started :class:`~repro.serve.executor.BatchExecutor` that
+  groups concurrent ``predict_batch`` items into merged-graph forward
+  passes (disjoint-component batching — bit-identical to serial results).
+
+``Engine.predict`` runs synchronously in the calling thread;
+``Engine.predict_batch`` fans out through the executor and preserves
+request order.  Both return :class:`~repro.api.types.PredictionResult`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro import obs
+from repro.api.adapters import GraphWork, make_adapter
+from repro.api.types import (
+    ModelProvenance,
+    PredictionRequest,
+    PredictionResult,
+    PredictionTiming,
+    TargetPrediction,
+    target_unit,
+)
+from repro.errors import ApiError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.cache import GraphCache
+    from repro.serve.executor import BatchExecutor
+    from repro.serve.registry import ModelRegistry, RegistryEntry
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine sizing knobs (cache capacity + micro-batching executor)."""
+
+    cache_size: int = 256
+    max_batch: int = 16
+    queue_depth: int = 128
+    workers: int = 2
+    timeout_s: float | None = None
+
+
+def _target_kind(target: str) -> str:
+    from repro.data.targets import target_by_name
+
+    try:
+        return target_by_name(target).kind
+    except Exception:
+        return "node"
+
+
+class Engine:
+    """Serve predictions for every registered model through one contract."""
+
+    def __init__(
+        self,
+        models,
+        *,
+        config: EngineConfig | None = None,
+        cache: "GraphCache | None" = None,
+    ):
+        from repro.serve.cache import GraphCache
+
+        self.config = config or EngineConfig()
+        self.registry = _coerce_registry(models)
+        self.cache = cache or GraphCache(max_entries=self.config.cache_size)
+        self._executor: BatchExecutor | None = None
+        self._executor_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        request,
+        *,
+        targets: Iterable[str] | None = None,
+        model: str | None = None,
+        use_cache: bool = True,
+    ) -> PredictionResult:
+        """Predict for one circuit, synchronously in the calling thread.
+
+        *request* may be a :class:`PredictionRequest` or anything
+        :func:`coerce_request` understands (a ``Circuit``, a dataset
+        record, a netlist path or raw netlist text).
+        """
+        req = coerce_request(
+            request, targets=targets, model=model, use_cache=use_cache
+        )
+        result = self._predict_group([req])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def predict_batch(
+        self,
+        requests: Sequence,
+        *,
+        timeout_s: float | None = None,
+    ) -> list[PredictionResult]:
+        """Predict for many circuits through the micro-batching executor.
+
+        Results come back in request order.  Raises
+        :class:`~repro.errors.ServeOverloadedError` when the queue rejects
+        a request and :class:`~repro.errors.ServeTimeoutError` when one
+        exceeds its deadline; other per-request failures re-raise their
+        original exception when that result is collected.
+        """
+        reqs = [coerce_request(r) for r in requests]
+        if not reqs:
+            return []
+        executor = self._ensure_executor()
+        obs.inc("serve.requests_total", len(reqs))
+        futures = [
+            executor.submit(
+                req, timeout_s=(
+                    req.options.timeout_s
+                    if req.options.timeout_s is not None
+                    else timeout_s
+                )
+            )
+            for req in reqs
+        ]
+        return [future.result() for future in futures]
+
+    def targets_of(self, model: str | None = None) -> tuple[str, ...]:
+        """Targets offered by a registered model (default model if None)."""
+        return self.registry.get(model).targets
+
+    def stats(self) -> dict:
+        """JSON-ready operational snapshot (the ``/metrics`` body)."""
+        executor = self._executor
+        return {
+            "models": self.registry.describe(),
+            "graph_cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate(),
+                "entries": len(self.cache),
+                "max_entries": self.cache.max_entries,
+            },
+            "executor": {
+                "started": executor is not None,
+                "pending": executor.pending() if executor is not None else 0,
+                "max_batch": self.config.max_batch,
+                "queue_depth": self.config.queue_depth,
+                "workers": self.config.workers,
+            },
+        }
+
+    def close(self) -> None:
+        """Shut down the executor (idempotent; the engine stays queryable
+        via :meth:`predict`, which never uses the executor)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> "BatchExecutor":
+        with self._executor_lock:
+            if self._executor is None:
+                from repro.serve.executor import BatchExecutor
+
+                self._executor = BatchExecutor(
+                    self._predict_group,
+                    max_batch=self.config.max_batch,
+                    queue_depth=self.config.queue_depth,
+                    workers=self.config.workers,
+                    timeout_s=self.config.timeout_s,
+                )
+            return self._executor
+
+    def _predict_group(
+        self, requests: Sequence[PredictionRequest]
+    ) -> list:
+        """Answer a group of requests; failed items become Exceptions.
+
+        Items sharing a model and target set are merged into one batched
+        forward pass; the rest fall back to singleton batches.
+        """
+        prepared: list[tuple | Exception] = []
+        for req in requests:
+            t0 = time.perf_counter()
+            try:
+                circuit = req.resolve_circuit()
+                entry = self.registry.get(req.model)
+                targets = req.targets or entry.targets
+                unknown = [t for t in targets if t not in entry.targets]
+                if unknown:
+                    raise ApiError(
+                        f"model {entry.name!r} does not predict {unknown}; "
+                        f"available: {sorted(entry.targets)}"
+                    )
+                cached, hit = self.cache.lookup(
+                    circuit, use_cache=req.options.use_cache
+                )
+                graph_s = time.perf_counter() - t0
+                prepared.append(
+                    (req, circuit, entry, tuple(targets), cached, hit, graph_s)
+                )
+            except Exception as error:
+                prepared.append(error)
+
+        # group by (model entry, target set) for merged forwards
+        groups: dict[tuple, list[int]] = {}
+        for index, item in enumerate(prepared):
+            if isinstance(item, Exception):
+                continue
+            _, _, entry, targets, _, _, _ = item
+            groups.setdefault((id(entry), targets), []).append(index)
+
+        results: list = [None] * len(prepared)
+        for (_, targets), indices in groups.items():
+            items = [prepared[i] for i in indices]
+            entry: RegistryEntry = items[0][2]
+            # identical circuits (same content hash) share one forward:
+            # a batch cycling N distinct schematics costs N graph slots
+            # in the merged pass, however many requests reference them
+            slot_of_key: dict[str, int] = {}
+            works: list[GraphWork] = []
+            slots: list[int] = []
+            for it in items:
+                cached = it[4]
+                slot = slot_of_key.get(cached.fingerprint)
+                if slot is None:
+                    slot = slot_of_key[cached.fingerprint] = len(works)
+                    works.append(GraphWork(cached.graph, cached.inputs_for))
+                slots.append(slot)
+            if len(works) < len(items):
+                obs.inc("api.dedup_reuse_total", len(items) - len(works))
+            t0 = time.perf_counter()
+            try:
+                with obs.span(
+                    "api.predict_group", model=entry.name, batch=len(works)
+                ):
+                    per_work = entry.adapter.predict_works(works, targets)
+            except Exception as error:
+                for i in indices:
+                    results[i] = error
+                continue
+            per_item = [per_work[slot] for slot in slots]
+            inference_s = time.perf_counter() - t0
+            for it, arrays_by_target, index in zip(items, per_item, indices):
+                req, circuit, entry, targets, cached, hit, graph_s = it
+                predictions: dict[str, TargetPrediction] = {}
+                names_of = cached.graph.node_name_of
+                for target in targets:
+                    ids, values = arrays_by_target[target]
+                    predictions[target] = TargetPrediction(
+                        target=target,
+                        kind=_target_kind(target),
+                        names=tuple(names_of[int(i)] for i in ids),
+                        values=values,
+                        unit=target_unit(target),
+                    )
+                results[index] = PredictionResult(
+                    circuit=circuit.name,
+                    fingerprint=cached.fingerprint,
+                    targets=predictions,
+                    provenance=ModelProvenance(
+                        name=entry.name,
+                        family=entry.family,
+                        version=entry.version,
+                        path=entry.path,
+                    ),
+                    timing=PredictionTiming(
+                        total_s=graph_s + inference_s,
+                        graph_s=graph_s,
+                        inference_s=inference_s,
+                        cache_hit=hit,
+                        batch_size=len(works),
+                    ),
+                )
+                obs.inc("api.predictions_total")
+        for index, item in enumerate(prepared):
+            if isinstance(item, Exception):
+                results[index] = item
+        return results
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def coerce_request(
+    source,
+    *,
+    targets: Iterable[str] | None = None,
+    model: str | None = None,
+    use_cache: bool = True,
+) -> PredictionRequest:
+    """Build a :class:`PredictionRequest` from any supported input.
+
+    Accepts an existing request (returned as-is when no overrides are
+    given), a :class:`~repro.circuits.Circuit`, a dataset
+    :class:`~repro.data.dataset.CircuitRecord`, a netlist path, or raw
+    SPICE text (detected by a newline in the string).
+    """
+    from repro.api.types import PredictionOptions
+
+    if isinstance(source, PredictionRequest):
+        if targets is None and model is None and use_cache:
+            return source
+        return PredictionRequest(
+            circuit=source.circuit,
+            netlist_path=source.netlist_path,
+            netlist_text=source.netlist_text,
+            name=source.name,
+            targets=tuple(targets) if targets is not None else source.targets,
+            model=model if model is not None else source.model,
+            options=PredictionOptions(
+                use_cache=use_cache and source.options.use_cache,
+                timeout_s=source.options.timeout_s,
+            ),
+        )
+    kwargs = dict(
+        targets=tuple(targets) if targets is not None else None,
+        model=model,
+        options=PredictionOptions(use_cache=use_cache),
+    )
+    if hasattr(source, "circuit") and hasattr(source, "graph"):  # record
+        return PredictionRequest(circuit=source.circuit, **kwargs)
+    if hasattr(source, "instances") and hasattr(source, "signal_nets"):
+        return PredictionRequest(circuit=source, **kwargs)
+    if isinstance(source, (str, os.PathLike)):
+        text = os.fspath(source)
+        if "\n" in text:
+            return PredictionRequest(netlist_text=text, **kwargs)
+        return PredictionRequest(netlist_path=text, **kwargs)
+    raise ApiError(
+        f"cannot build a PredictionRequest from {type(source).__name__}"
+    )
+
+
+def _coerce_registry(models) -> "ModelRegistry":
+    from repro.serve.registry import ModelRegistry
+
+    if isinstance(models, ModelRegistry):
+        return models
+    if isinstance(models, (str, os.PathLike)):
+        return ModelRegistry.discover(models)
+    registry = ModelRegistry()
+    if isinstance(models, Mapping):
+        for name, model in models.items():
+            registry.register(name, model)
+        return registry
+    registry.register("default", models)
+    return registry
+
+
+def create_engine(
+    models,
+    *,
+    cache_size: int = 256,
+    max_batch: int = 16,
+    queue_depth: int = 128,
+    workers: int = 2,
+    timeout_s: float | None = None,
+) -> Engine:
+    """One-call engine construction.
+
+    *models* may be a saved-model directory/path (discovered and
+    warm-loaded), a ``{name: model}`` mapping, a
+    :class:`~repro.serve.registry.ModelRegistry`, or a single model object
+    (registered as ``"default"``).
+    """
+    return Engine(
+        models,
+        config=EngineConfig(
+            cache_size=cache_size,
+            max_batch=max_batch,
+            queue_depth=queue_depth,
+            workers=workers,
+            timeout_s=timeout_s,
+        ),
+    )
+
+
+def predict_one(model, source, targets: Iterable[str] | None = None) -> PredictionResult:
+    """Single-shot prediction without building an engine.
+
+    The compatibility shims route the old entry points through here; it
+    runs the same adapter machinery as :class:`Engine` but with a local,
+    uncached graph.  Accepts the same *source* shapes as
+    :func:`coerce_request` plus a bare :class:`HeteroGraph`.
+    """
+    adapter = make_adapter(model)
+    wanted = tuple(targets) if targets is not None else tuple(adapter.targets)
+    if hasattr(source, "node_name_of"):  # a bare HeteroGraph
+        graph = source
+        circuit_name = getattr(source, "name", "graph")
+        fingerprint = "unhashed"
+    else:
+        req = coerce_request(source, use_cache=False)
+        circuit = req.resolve_circuit()
+        from repro.serve.cache import circuit_fingerprint
+
+        fingerprint = circuit_fingerprint(circuit)
+        circuit_name = circuit.name
+        from repro.graph.builder import build_graph
+
+        graph = build_graph(circuit)
+    work = GraphWork.local(graph)
+    t0 = time.perf_counter()
+    arrays_by_target = adapter.predict_works([work], wanted)[0]
+    inference_s = time.perf_counter() - t0
+    names_of = graph.node_name_of
+    predictions = {
+        target: TargetPrediction(
+            target=target,
+            kind=_target_kind(target),
+            names=tuple(names_of[int(i)] for i in ids),
+            values=values,
+            unit=target_unit(target),
+        )
+        for target, (ids, values) in arrays_by_target.items()
+    }
+    return PredictionResult(
+        circuit=circuit_name,
+        fingerprint=fingerprint,
+        targets=predictions,
+        provenance=ModelProvenance(
+            name=type(model).__name__, family=adapter.family, version="unsaved"
+        ),
+        timing=PredictionTiming(
+            total_s=inference_s, inference_s=inference_s, batch_size=1
+        ),
+    )

@@ -20,10 +20,21 @@ Subcommands::
         shared merged-input caching (or a process pool) and save the suite.
 
     python -m repro predict    --model cap_model.npz --netlist in.sp
+                               [--netlist more.sp ...] [--json]
                                [--annotate out.sp]
-        Parse a SPICE netlist, predict the model's target for every
-        net/transistor, print a report; with ``--annotate`` also write the
-        parasitic-annotated netlist (CAP models only).
+        Parse SPICE netlists, predict every target the model offers for each
+        (batched through :class:`repro.api.Engine`), print a report or a
+        JSON dump; with ``--annotate`` also write the parasitic-annotated
+        netlist (CAP models, single netlist only).  ``--model`` accepts a
+        single ``.npz``, a multi-target directory, or an ensemble directory.
+
+    python -m repro serve      --models models/ [--host H] [--port P]
+                               [--max-batch 16] [--queue-depth 128]
+                               [--workers 2] [--cache-size 256]
+                               [--timeout-s T]
+        Discover saved models under ``--models`` and answer predictions over
+        stdlib JSON/HTTP: ``POST /predict``, ``GET /healthz``,
+        ``GET /metrics``.
 
     python -m repro experiment {table4,fig5,fig6,fig7,fig8,table5,layers,ingredients}
         Run one paper experiment and print its table (honours
@@ -42,6 +53,7 @@ flags may be given before or after the subcommand name.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.units import format_eng
@@ -126,26 +138,84 @@ def _cmd_train_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    from repro.circuits import read_spice, write_spice
-    from repro.models import TargetPredictor
+    import json
+
+    from repro.api.engine import coerce_request, create_engine
+    from repro.circuits import write_spice
+    from repro.serve.registry import ModelRegistry, _entry_name
     from repro.sim import annotated_netlist
 
-    predictor = TargetPredictor.load(args.model)
-    with open(args.netlist) as handle:
-        circuit = read_spice(handle, name=args.netlist)
-    predictions = predictor.predict_circuit(circuit)
-    unit = "F" if predictor.spec.name in ("CAP",) else ""
-    print(f"{predictor.spec.name} predictions for {args.netlist}:")
-    for name in sorted(predictions):
-        print(f"  {name:24s} {format_eng(predictions[name], unit)}")
-    if args.annotate:
-        if predictor.spec.kind != "net" or predictor.spec.name != "CAP":
+    netlists = list(args.netlist)
+    if args.annotate and len(netlists) > 1:
+        print("--annotate supports exactly one --netlist", file=sys.stderr)
+        return 2
+    registry = ModelRegistry()
+    registry.load(_entry_name(os.path.basename(args.model)), args.model)
+    with create_engine(registry) as engine:
+        if args.annotate and "CAP" not in engine.targets_of():
             print("--annotate requires a CAP model", file=sys.stderr)
             return 2
-        annotated = annotated_netlist(circuit, predictions)
-        with open(args.annotate, "w") as handle:
-            write_spice(annotated, handle)
-        print(f"wrote annotated netlist to {args.annotate}")
+        requests = [coerce_request(path) for path in netlists]
+        results = engine.predict_batch(requests)
+        if args.json:
+            json.dump(
+                [result.to_json_dict() for result in results],
+                sys.stdout,
+                indent=2,
+            )
+            print()
+        else:
+            for path, result in zip(netlists, results):
+                for target in sorted(result.targets):
+                    prediction = result.targets[target]
+                    named = prediction.named
+                    print(f"{target} predictions for {path}:")
+                    for name in sorted(named):
+                        print(f"  {name:24s} {format_eng(named[name], prediction.unit)}")
+        if args.annotate:
+            annotated = annotated_netlist(
+                requests[0].resolve_circuit(), results[0].named("CAP")
+            )
+            with open(args.annotate, "w") as handle:
+                write_spice(annotated, handle)
+            print(f"wrote annotated netlist to {args.annotate}")
+    return 0
+
+
+def _serve_build(args: argparse.Namespace):
+    """Build the (engine, server) pair for ``repro serve``.
+
+    Split from :func:`_cmd_serve` so tests can drive the exact CLI stack
+    without blocking in ``serve_forever``.
+    """
+    from repro.api.engine import create_engine
+    from repro.serve.http import PredictionServer
+
+    engine = create_engine(
+        args.models,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        timeout_s=args.timeout_s,
+    )
+    server = PredictionServer(
+        engine, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    return engine, server
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    engine, server = _serve_build(args)
+    names = ", ".join(engine.registry.names())
+    print(f"serving {len(engine.registry)} model(s) [{names}] at {server.url}")
+    print("endpoints: POST /predict, GET /healthz, GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -257,13 +327,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_args(p_train_all)
     p_train_all.set_defaults(func=_cmd_train_all)
 
-    p_predict = sub.add_parser("predict", help="predict targets for a SPICE netlist")
-    p_predict.add_argument("--model", required=True)
-    p_predict.add_argument("--netlist", required=True)
+    p_predict = sub.add_parser("predict", help="predict targets for SPICE netlists")
+    p_predict.add_argument("--model", required=True,
+                           help="saved model: .npz file, multi-target dir, "
+                                "or ensemble dir")
+    p_predict.add_argument("--netlist", required=True, action="append",
+                           help="SPICE netlist path (repeatable for a batch)")
+    p_predict.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON instead of a report")
     p_predict.add_argument("--annotate", default=None,
                            help="write a parasitic-annotated netlist here")
     add_obs_args(p_predict)
     p_predict.set_defaults(func=_cmd_predict)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve saved models over JSON/HTTP (stdlib only)"
+    )
+    p_serve.add_argument("--models", required=True,
+                         help="saved model artifact or directory of artifacts")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 binds an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="micro-batching executor threads")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="max requests merged into one forward pass")
+    p_serve.add_argument("--queue-depth", type=int, default=128,
+                         help="queued requests before 429 backpressure")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="graph/feature cache entries")
+    p_serve.add_argument("--timeout-s", type=float, default=None,
+                         help="per-request deadline while queued")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    add_obs_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="run one paper experiment")
     p_exp.add_argument(

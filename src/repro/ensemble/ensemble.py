@@ -123,11 +123,18 @@ class CapacitanceEnsemble:
         return ids_ref, combined
 
     def predict_named(self, record: CircuitRecord) -> dict[str, float]:
-        ids, preds = self.predict(record)
-        return {
-            record.graph.node_name_of[node_id]: float(value)
-            for node_id, value in zip(ids, preds)
-        }
+        """Deprecated: combined predictions keyed by net name.
+
+        Use :meth:`repro.api.Engine.predict` /
+        :meth:`~repro.api.PredictionResult.named` instead.
+        """
+        from repro.api.compat import named_from_arrays, warn_deprecated
+
+        warn_deprecated(
+            "CapacitanceEnsemble.predict_named",
+            'repro.api.Engine.predict(...).named("CAP")',
+        )
+        return named_from_arrays(record.graph, *self.predict(record))
 
     def evaluate(
         self, records: list[CircuitRecord], mape_eps: float = 0.0

@@ -57,3 +57,29 @@ class SimulationError(ReproError):
 
 class DatasetError(ReproError):
     """Raised for dataset assembly or split failures."""
+
+
+class ApiError(ReproError):
+    """Raised for malformed prediction requests (unknown model/target...)."""
+
+
+class ServeError(ReproError):
+    """Base class for inference-serving failures."""
+
+
+class ServeOverloadedError(ServeError):
+    """Raised when the serving queue is full and a request is rejected.
+
+    Attributes
+    ----------
+    queue_depth:
+        The configured queue capacity that was exceeded, when known.
+    """
+
+    def __init__(self, message: str, queue_depth: int | None = None):
+        self.queue_depth = queue_depth
+        super().__init__(message)
+
+
+class ServeTimeoutError(ServeError):
+    """Raised when a queued request exceeds its per-request timeout."""

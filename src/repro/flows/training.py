@@ -27,11 +27,20 @@ class MultiTargetModel:
     predictors: dict[str, TargetPredictor] = field(default_factory=dict)
 
     def predict_all(self, circuit: Circuit) -> dict[str, dict[str, float]]:
-        """``{target: {net_or_instance: value}}`` for a schematic."""
-        return {
-            name: predictor.predict_circuit(circuit)
-            for name, predictor in self.predictors.items()
-        }
+        """Deprecated: ``{target: {net_or_instance: value}}`` for a schematic.
+
+        Use :meth:`repro.api.Engine.predict` — one graph build for all
+        targets, cacheable, and batchable — instead.
+        """
+        from repro.api.compat import warn_deprecated
+        from repro.api.engine import predict_one
+
+        warn_deprecated(
+            "MultiTargetModel.predict_all",
+            "repro.api.Engine.predict(circuit)",
+        )
+        result = predict_one(self, circuit, targets=tuple(self.predictors))
+        return {name: result.named(name) for name in self.predictors}
 
     def predictor(self, target: str) -> TargetPredictor:
         try:

@@ -111,20 +111,31 @@ class BaselinePredictor:
         self._scaler = bundle.scaler
         return self
 
-    def predict(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]:
-        """(node_ids, SI-unit predictions), clamped at zero."""
+    def predict_graph(self, graph: HeteroGraph) -> tuple[np.ndarray, np.ndarray]:
+        """(node_ids, SI-unit predictions) for a graph, clamped at zero."""
         if self.model is None:
             raise ModelError("baseline is not fitted; call fit() first")
-        ids, X = baseline_features(record.graph, self._scaler, self.spec)
+        ids, X = baseline_features(graph, self._scaler, self.spec)
         scaled = self.model.predict(X)
         return ids, np.maximum(self.target_scaler.inverse(scaled), 0.0)
 
+    def predict(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]:
+        """(node_ids, SI-unit predictions), clamped at zero."""
+        return self.predict_graph(record.graph)
+
     def predict_named(self, record: CircuitRecord) -> dict[str, float]:
-        ids, preds = self.predict(record)
-        return {
-            record.graph.node_name_of[node_id]: float(value)
-            for node_id, value in zip(ids, preds)
-        }
+        """Deprecated: predictions keyed by net/instance name.
+
+        Use :meth:`repro.api.Engine.predict` /
+        :meth:`~repro.api.PredictionResult.named` instead.
+        """
+        from repro.api.compat import named_from_arrays, warn_deprecated
+
+        warn_deprecated(
+            "BaselinePredictor.predict_named",
+            "repro.api.Engine.predict(...).named(target)",
+        )
+        return named_from_arrays(record.graph, *self.predict(record))
 
     def evaluate(
         self, records: list[CircuitRecord], mape_eps: float = 0.0

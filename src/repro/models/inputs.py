@@ -57,6 +57,56 @@ class GraphInputs:
         """Convenience: build inputs straight from a dataset record."""
         return cls.from_graph(record.graph, scaler)
 
+    @classmethod
+    def merge(
+        cls, inputs: "list[GraphInputs]"
+    ) -> "tuple[GraphInputs, np.ndarray]":
+        """Concatenate several graphs' inputs into one disjoint batch.
+
+        Returns ``(merged, offsets)`` where ``offsets[k]`` is the global
+        node-id offset of graph ``k``.  The graphs stay disjoint components,
+        so a forward pass over the merged inputs produces bit-identical
+        per-node outputs to running each graph alone — this is the batched
+        inference path of :class:`repro.api.Engine`.
+        """
+        if not inputs:
+            raise ValueError("GraphInputs.merge needs at least one graph")
+        if len(inputs) == 1:
+            return inputs[0], np.zeros(1, dtype=np.int64)
+        offsets = np.cumsum([0] + [item.num_nodes for item in inputs[:-1]])
+        features: dict[str, list[np.ndarray]] = {}
+        nodes_of_type: dict[str, list[np.ndarray]] = {}
+        edges: dict[str, tuple[list[np.ndarray], list[np.ndarray]]] = {}
+        merged_src, merged_dst = [], []
+        for item, offset in zip(inputs, offsets):
+            for type_name, feats in item.features.items():
+                features.setdefault(type_name, []).append(feats)
+                nodes_of_type.setdefault(type_name, []).append(
+                    item.nodes_of_type[type_name] + offset
+                )
+            for edge_type, (src, dst) in item.edges.items():
+                srcs, dsts = edges.setdefault(edge_type, ([], []))
+                srcs.append(src + offset)
+                dsts.append(dst + offset)
+            merged_src.append(item.merged_src + offset)
+            merged_dst.append(item.merged_dst + offset)
+        return (
+            cls(
+                num_nodes=int(offsets[-1] + inputs[-1].num_nodes),
+                features={t: np.concatenate(f, axis=0) for t, f in features.items()},
+                nodes_of_type={
+                    t: np.concatenate(n) for t, n in nodes_of_type.items()
+                },
+                edges={
+                    t: (np.concatenate(s), np.concatenate(d))
+                    for t, (s, d) in edges.items()
+                },
+                merged_src=np.concatenate(merged_src),
+                merged_dst=np.concatenate(merged_dst),
+            ),
+            offsets,
+        )
+
     def with_self_loops(self) -> tuple[np.ndarray, np.ndarray]:
         """Merged edges plus one self-loop per node (GCN/GAT convention)."""
         loops = np.arange(self.num_nodes, dtype=np.int64)

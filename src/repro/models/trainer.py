@@ -388,14 +388,19 @@ class TargetPredictor:
             raise ModelError("predictor is not fitted; call fit() first")
         return self.model
 
-    def predict_graph(self, graph) -> tuple[np.ndarray, np.ndarray]:
+    def predict_graph(
+        self, graph, inputs: GraphInputs | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """(node_ids, SI-unit predictions) for a heterogeneous graph.
 
         Predictions are clamped at zero — capacitances and geometries are
-        physical quantities.
+        physical quantities.  ``inputs`` may carry pre-scaled
+        :class:`GraphInputs` for *graph* (the serving cache path); when
+        omitted they are built here.
         """
         model = self._require_fit()
-        inputs = GraphInputs.from_graph(graph, self._scaler)
+        if inputs is None:
+            inputs = GraphInputs.from_graph(graph, self._scaler)
         ids = self.spec.node_ids(graph)
         with no_grad():
             scaled = model(inputs, ids).numpy().ravel()
@@ -406,26 +411,33 @@ class TargetPredictor:
         return self.predict_graph(record.graph)
 
     def predict_named(self, record: CircuitRecord) -> dict[str, float]:
-        """Predictions keyed by net/instance name."""
-        ids, preds = self.predict(record)
-        return {
-            record.graph.node_name_of[node_id]: float(value)
-            for node_id, value in zip(ids, preds)
-        }
+        """Deprecated: predictions keyed by net/instance name.
+
+        Use :meth:`repro.api.Engine.predict` /
+        :meth:`~repro.api.PredictionResult.named` instead.
+        """
+        from repro.api.compat import named_from_arrays, warn_deprecated
+
+        warn_deprecated(
+            "TargetPredictor.predict_named",
+            "repro.api.Engine.predict(...).named(target)",
+        )
+        return named_from_arrays(record.graph, *self.predict(record))
 
     def predict_circuit(self, circuit) -> dict[str, float]:
-        """Predict straight from a schematic (no layout required).
+        """Deprecated: predict straight from a schematic (no layout).
 
-        This is the deployment path: parse a netlist, predict, annotate.
+        Use :meth:`repro.api.Engine.predict` (cached, batchable) or
+        :func:`repro.api.predict_one` instead.
         """
-        from repro.graph.builder import build_graph
+        from repro.api.compat import warn_deprecated
+        from repro.api.engine import predict_one
 
-        graph = build_graph(circuit)
-        ids, preds = self.predict_graph(graph)
-        return {
-            graph.node_name_of[node_id]: float(value)
-            for node_id, value in zip(ids, preds)
-        }
+        warn_deprecated(
+            "TargetPredictor.predict_circuit",
+            "repro.api.Engine.predict(circuit).named(target)",
+        )
+        return predict_one(self, circuit).named(self.spec.name)
 
     def attention_report(
         self, record: CircuitRecord, layer: int = 0

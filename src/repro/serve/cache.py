@@ -1,0 +1,164 @@
+"""Content-hash-keyed LRU cache of built graphs and scaled features.
+
+Repeated predictions on the same schematic used to pay ``build_graph`` +
+``FeatureScaler.transform`` every single time — for the small circuits a
+designer iterates on, that preprocessing rivals the GNN forward pass
+itself.  :class:`GraphCache` keys each circuit by a **content hash** (not
+object identity, so a re-parsed netlist hits the same entry), stores the
+built :class:`~repro.graph.hetero.HeteroGraph`, and memoises the scaled
+:class:`~repro.models.GraphInputs` per feature-scaler fingerprint (models
+trained on different bundles scale differently).
+
+Hit/miss counts are observable both directly (:attr:`GraphCache.hits` /
+:attr:`GraphCache.misses`, always on) and through the ``repro.obs``
+counters ``serve.graph_cache_hits_total`` / ``serve.graph_cache_misses_total``
+when collection is enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuits.netlist import Circuit
+    from repro.data.normalize import FeatureScaler
+    from repro.graph.hetero import HeteroGraph
+    from repro.models.inputs import GraphInputs
+
+
+def circuit_fingerprint(circuit: "Circuit") -> str:
+    """Stable content hash of a circuit (name, nets, instances, params).
+
+    Two circuits that serialise identically — e.g. the same netlist parsed
+    twice — share a fingerprint; any change to connectivity or device
+    parameters changes it.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(circuit.name.encode())
+    hasher.update(b"|ports|")
+    for port in circuit.ports:
+        hasher.update(port.encode() + b";")
+    hasher.update(b"|nets|")
+    for net in sorted(net.name for net in circuit.nets()):
+        hasher.update(net.encode() + b";")
+    hasher.update(b"|instances|")
+    for name in sorted(inst.name for inst in circuit.instances()):
+        inst = circuit.instance(name)
+        hasher.update(f"{inst.name}:{inst.device_type}".encode())
+        for terminal in sorted(inst.conns):
+            hasher.update(f"|{terminal}={inst.conns[terminal]}".encode())
+        for param in sorted(inst.params):
+            hasher.update(f"|{param}={inst.params[param]!r}".encode())
+        hasher.update(b";")
+    return hasher.hexdigest()
+
+
+def scaler_fingerprint(scaler: "FeatureScaler") -> str:
+    """Content hash of a fitted feature scaler (memoised on the object)."""
+    cached = getattr(scaler, "_content_fingerprint", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    for type_name in sorted(scaler.means):
+        hasher.update(type_name.encode())
+        hasher.update(scaler.means[type_name].tobytes())
+        hasher.update(scaler.stds[type_name].tobytes())
+    digest = hasher.hexdigest()
+    try:
+        scaler._content_fingerprint = digest
+    except AttributeError:  # exotic scaler without a __dict__: recompute
+        pass
+    return digest
+
+
+class CachedGraph:
+    """One cache entry: the built graph plus per-scaler scaled inputs."""
+
+    def __init__(self, fingerprint: str, graph: "HeteroGraph"):
+        self.fingerprint = fingerprint
+        self.graph = graph
+        self._inputs: dict[str, GraphInputs] = {}
+        self._lock = threading.Lock()
+
+    def inputs_for(self, scaler: "FeatureScaler") -> "GraphInputs":
+        """Scaled :class:`GraphInputs`, built at most once per scaler."""
+        key = scaler_fingerprint(scaler)
+        with self._lock:
+            inputs = self._inputs.get(key)
+        if inputs is not None:
+            return inputs
+        from repro.models.inputs import GraphInputs
+
+        inputs = GraphInputs.from_graph(self.graph, scaler)
+        with self._lock:
+            return self._inputs.setdefault(key, inputs)
+
+
+class GraphCache:
+    """Thread-safe LRU of :class:`CachedGraph` entries, content-hash keyed."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, CachedGraph] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, circuit: "Circuit", use_cache: bool = True) -> CachedGraph:
+        """Entry for a circuit, building (and caching) the graph on a miss."""
+        return self.lookup(circuit, use_cache=use_cache)[0]
+
+    def lookup(
+        self, circuit: "Circuit", use_cache: bool = True
+    ) -> tuple[CachedGraph, bool]:
+        """(entry, was_hit) for a circuit, building the graph on a miss.
+
+        ``use_cache=False`` builds a fresh throwaway entry without touching
+        the LRU state — for one-shot circuits that should not evict hot
+        entries.
+        """
+        fingerprint = circuit_fingerprint(circuit)
+        if use_cache:
+            with self._lock:
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    self._entries.move_to_end(fingerprint)
+                    self.hits += 1
+                    obs.inc("serve.graph_cache_hits_total")
+                    return entry, True
+                self.misses += 1
+            obs.inc("serve.graph_cache_misses_total")
+        from repro.graph.builder import build_graph
+
+        entry = CachedGraph(fingerprint, build_graph(circuit))
+        if use_cache:
+            with self._lock:
+                existing = self._entries.get(fingerprint)
+                if existing is not None:  # raced with another thread
+                    return existing, True
+                self._entries[fingerprint] = entry
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+        return entry, False
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

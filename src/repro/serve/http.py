@@ -1,0 +1,215 @@
+"""Stdlib JSON-over-HTTP endpoint in front of an :class:`Engine`.
+
+Endpoints:
+
+* ``POST /predict`` — body ``{"netlist": "<spice text>", "name": ...,
+  "targets": [...], "model": ...}`` for one circuit, or
+  ``{"items": [<request>, ...]}`` for a micro-batched group.  Responds with
+  a :meth:`PredictionResult.to_json_dict` dump (or ``{"results": [...]}``).
+* ``GET /healthz`` — liveness plus the model inventory.
+* ``GET /metrics`` — engine stats (cache hit rate, queue depth) and, when
+  ``repro.obs`` collection is enabled, the metrics-registry snapshot.
+
+Error mapping: bad request body/netlist → 400, unknown model/target → 404,
+queue backpressure → 429 (with a ``Retry-After`` hint), queued-too-long →
+504, anything else → 500.  Only the standard library is used, so any HTTP
+client — including :mod:`urllib.request` — can drive it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.api.types import PredictionOptions, PredictionRequest
+from repro.errors import (
+    ApiError,
+    GraphConstructionError,
+    NetlistError,
+    ReproError,
+    ServeOverloadedError,
+    ServeTimeoutError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.engine import Engine
+
+
+def request_from_json(payload: dict) -> PredictionRequest:
+    """Wire format -> :class:`PredictionRequest` (raises ApiError on junk)."""
+    if not isinstance(payload, dict):
+        raise ApiError("request body must be a JSON object")
+    if "netlist" not in payload:
+        raise ApiError('request needs a "netlist" field with SPICE text')
+    targets = payload.get("targets")
+    if targets is not None and not isinstance(targets, (list, tuple)):
+        raise ApiError('"targets" must be a list of target names')
+    return PredictionRequest(
+        netlist_text=str(payload["netlist"]),
+        name=payload.get("name"),
+        targets=tuple(targets) if targets is not None else None,
+        model=payload.get("model"),
+        options=PredictionOptions(
+            use_cache=bool(payload.get("use_cache", True)),
+            timeout_s=payload.get("timeout_s"),
+        ),
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set per-server via type(); silences the default stderr access log
+    engine: "Engine" = None  # type: ignore[assignment]
+    started_at: float = 0.0
+    quiet: bool = True
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # pragma: no cover - log plumbing
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict, **headers) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name.replace("_", "-"), str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, error: Exception, **headers) -> None:
+        self._send_json(
+            status,
+            {"error": type(error).__name__, "message": str(error)},
+            **headers,
+        )
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": time.monotonic() - self.started_at,
+                    "models": self.engine.registry.describe(),
+                },
+            )
+        elif path == "/metrics":
+            payload = {"serve": self.engine.stats()}
+            if obs.is_enabled():
+                payload["obs"] = obs.registry().snapshot()
+            self._send_json(200, payload)
+        else:
+            self._send_error_json(404, ApiError(f"no route {path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path != "/predict":
+            self._send_error_json(404, ApiError(f"no route {path!r}"))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as error:
+                raise ApiError(f"request body is not valid JSON: {error}")
+            if isinstance(payload, dict) and "items" in payload:
+                items = payload["items"]
+                if not isinstance(items, list):
+                    raise ApiError('"items" must be a list of requests')
+                requests = [request_from_json(item) for item in items]
+                results = self.engine.predict_batch(requests)
+                self._send_json(
+                    200, {"results": [r.to_json_dict() for r in results]}
+                )
+            else:
+                request = request_from_json(payload)
+                obs.inc("serve.requests_total")
+                result = self.engine.predict(request)
+                self._send_json(200, result.to_json_dict())
+        except ServeOverloadedError as error:
+            self._send_error_json(429, error, Retry_After=1)
+        except ServeTimeoutError as error:
+            self._send_error_json(504, error)
+        except ApiError as error:
+            status = 404 if "unknown model" in str(error) else 400
+            self._send_error_json(status, error)
+        except (NetlistError, GraphConstructionError) as error:
+            # the client sent a netlist we cannot parse or graph
+            self._send_error_json(400, error)
+        except ReproError as error:  # pragma: no cover - defensive
+            self._send_error_json(500, error)
+
+
+class PredictionServer:
+    """A :class:`ThreadingHTTPServer` wrapper around one engine.
+
+    ``port=0`` binds an ephemeral port (the resolved one is on
+    :attr:`port` / :attr:`url`).  Use :meth:`start` for a daemon-thread
+    server in tests, or :meth:`serve_forever` to block (the CLI path).
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        quiet: bool = True,
+    ):
+        self.engine = engine
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {"engine": engine, "started_at": time.monotonic(), "quiet": quiet},
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PredictionServer":
+        """Serve from a daemon thread; returns self once listening."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block and serve until interrupted (the ``repro serve`` path)."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.engine.close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

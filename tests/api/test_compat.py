@@ -1,0 +1,133 @@
+"""Deprecation shims: old entry points keep working, warn exactly once.
+
+Every pre-``repro.api`` prediction entry point must produce the same dict
+(same keys, same values) it always did, while funnelling through the new
+facade underneath — and emit one DeprecationWarning per process per entry
+point, not one per call.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api.compat import (
+    deprecated_entry_points,
+    named_from_arrays,
+    reset_deprecation_warnings,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _collect_warnings(callable_):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        callable_()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWarnOnce:
+    def test_predict_named_warns_once_per_process(self, api_cap_predictor,
+                                                  tiny_bundle):
+        record = tiny_bundle.records("test")[0]
+
+        def twice():
+            api_cap_predictor.predict_named(record)
+            api_cap_predictor.predict_named(record)
+
+        caught = _collect_warnings(twice)
+        assert len(caught) == 1
+        assert "predict_named is deprecated" in str(caught[0].message)
+        assert "repro.api" in str(caught[0].message)
+
+    def test_each_entry_point_warns_separately(self, api_cap_predictor,
+                                               api_multi_model, tiny_bundle):
+        record = tiny_bundle.records("test")[0]
+
+        def mixed():
+            api_cap_predictor.predict_named(record)
+            api_cap_predictor.predict_circuit(record.circuit)
+            api_multi_model.predict_all(record.circuit)
+
+        caught = _collect_warnings(mixed)
+        assert len(caught) == 3
+        assert deprecated_entry_points() == (
+            "MultiTargetModel.predict_all",
+            "TargetPredictor.predict_circuit",
+            "TargetPredictor.predict_named",
+        )
+
+    def test_ensemble_and_baseline_shims_warn(self, api_ensemble_model,
+                                              api_baseline_model, tiny_bundle):
+        record = tiny_bundle.records("test")[0]
+
+        def both():
+            api_ensemble_model.predict_named(record)
+            api_baseline_model.predict_named(record)
+
+        caught = _collect_warnings(both)
+        assert len(caught) == 2
+
+    def test_reset_rearms_the_warning(self, api_cap_predictor, tiny_bundle):
+        record = tiny_bundle.records("test")[0]
+        assert len(_collect_warnings(
+            lambda: api_cap_predictor.predict_named(record))) == 1
+        assert len(_collect_warnings(
+            lambda: api_cap_predictor.predict_named(record))) == 0
+        reset_deprecation_warnings()
+        assert len(_collect_warnings(
+            lambda: api_cap_predictor.predict_named(record))) == 1
+
+
+class TestShimEquivalence:
+    """Old surfaces return exactly what the new facade computes."""
+
+    def test_predict_named_equals_engine_named(self, api_cap_predictor,
+                                               tiny_bundle):
+        from repro.api import predict_one
+
+        record = tiny_bundle.records("test")[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = api_cap_predictor.predict_named(record)
+        assert legacy == predict_one(api_cap_predictor, record.circuit).named("CAP")
+
+    def test_predict_circuit_equals_engine_named(self, api_cap_predictor,
+                                                 tiny_bundle):
+        from repro.api import predict_one
+
+        record = tiny_bundle.records("test")[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = api_cap_predictor.predict_circuit(record.circuit)
+        assert legacy == predict_one(api_cap_predictor, record.circuit).named("CAP")
+
+    def test_predict_all_equals_engine_targets(self, api_multi_model,
+                                               tiny_bundle):
+        from repro.api import predict_one
+
+        record = tiny_bundle.records("test")[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = api_multi_model.predict_all(record.circuit)
+        result = predict_one(api_multi_model, record.circuit)
+        assert set(legacy) == {"CAP", "SA"}
+        for target, named in legacy.items():
+            assert named == result.named(target)
+
+    def test_named_from_arrays_is_the_shared_projection(self, tiny_bundle,
+                                                        api_cap_predictor):
+        record = tiny_bundle.records("test")[0]
+        ids, values = api_cap_predictor.predict(record)
+        named = named_from_arrays(record.graph, ids, values)
+        assert set(named) == {
+            record.graph.node_name_of[int(i)] for i in ids
+        }
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert named == api_cap_predictor.predict_named(record)

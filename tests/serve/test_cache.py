@@ -1,0 +1,121 @@
+"""GraphCache: content-hash identity, LRU behaviour, per-scaler inputs."""
+
+import pytest
+
+from repro.circuits.spice import read_spice, write_spice
+from repro.serve import GraphCache, circuit_fingerprint, scaler_fingerprint
+
+
+@pytest.fixture
+def circuits(tiny_bundle):
+    return [record.circuit for record in tiny_bundle.records("test")]
+
+
+class TestFingerprints:
+    def test_stable_across_reparse(self, circuits):
+        # the same netlist text parsed twice is the same content
+        text = write_spice(circuits[0])
+        first = read_spice(text, name="same")
+        second = read_spice(text, name="same")
+        assert circuit_fingerprint(first) == circuit_fingerprint(second)
+
+    def test_differs_between_circuits(self, circuits):
+        prints = {circuit_fingerprint(c) for c in circuits}
+        assert len(prints) == len(circuits)
+
+    def test_parameter_change_changes_fingerprint(self, circuits):
+        circuit = circuits[0]
+        before = circuit_fingerprint(circuit)
+        instance = next(iter(circuit.instances()))
+        original = dict(instance.params)
+        try:
+            for key, value in list(instance.params.items()):
+                if isinstance(value, (int, float)):
+                    instance.params[key] = value + 3.0
+                    break
+            assert circuit_fingerprint(circuit) != before
+        finally:
+            instance.params.clear()
+            instance.params.update(original)
+
+    def test_scaler_fingerprint_memoised(self, tiny_bundle):
+        scaler = tiny_bundle.scaler
+        first = scaler_fingerprint(scaler)
+        assert scaler_fingerprint(scaler) == first
+        assert getattr(scaler, "_content_fingerprint") == first
+
+
+class TestGraphCache:
+    def test_miss_then_hit(self, circuits):
+        cache = GraphCache()
+        entry, hit = cache.lookup(circuits[0])
+        assert not hit and cache.misses == 1 and cache.hits == 0
+        again, hit = cache.lookup(circuits[0])
+        assert hit and again is entry
+        assert cache.hits == 1 and cache.hit_rate() == 0.5
+
+    def test_reparsed_circuit_hits(self, circuits):
+        cache = GraphCache()
+        text = write_spice(circuits[0])
+        cache.get(read_spice(text, name="same"))
+        _, hit = cache.lookup(read_spice(text, name="same"))
+        assert hit
+
+    def test_lru_eviction(self, circuits):
+        cache = GraphCache(max_entries=2)
+        a, b, c = circuits[:3]
+        cache.get(a)
+        cache.get(b)
+        cache.get(a)  # refresh a; b is now least recent
+        cache.get(c)  # evicts b
+        assert len(cache) == 2
+        _, hit_a = cache.lookup(a)
+        assert hit_a
+        _, hit_b = cache.lookup(b)
+        assert not hit_b  # was evicted, rebuilt
+
+    def test_use_cache_false_is_invisible(self, circuits):
+        cache = GraphCache()
+        entry, hit = cache.lookup(circuits[0], use_cache=False)
+        assert not hit
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert entry.graph.num_nodes > 0
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            GraphCache(max_entries=0)
+
+    def test_clear(self, circuits):
+        cache = GraphCache()
+        cache.get(circuits[0])
+        cache.get(circuits[0])
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestCachedInputs:
+    def test_inputs_memoised_per_scaler(self, circuits, tiny_bundle):
+        cache = GraphCache()
+        entry = cache.get(circuits[0])
+        scaler = tiny_bundle.scaler
+        first = entry.inputs_for(scaler)
+        assert entry.inputs_for(scaler) is first
+        assert first.num_nodes == entry.graph.num_nodes
+
+    def test_distinct_scalers_get_distinct_inputs(self, circuits, tiny_bundle):
+        import copy
+
+        cache = GraphCache()
+        entry = cache.get(circuits[0])
+        scaler = tiny_bundle.scaler
+        other = copy.deepcopy(scaler)
+        # perturb so the content fingerprint differs
+        other._content_fingerprint = None
+        for type_name in other.means:
+            other.means[type_name] = other.means[type_name] + 1.0
+            break
+        other._content_fingerprint = None
+        first = entry.inputs_for(scaler)
+        second = entry.inputs_for(other)
+        assert second is not first

@@ -1,0 +1,179 @@
+"""BatchExecutor: grouping, ordering, backpressure, deadlines, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError, ServeOverloadedError, ServeTimeoutError
+from repro.serve import BatchExecutor
+
+
+def echo_batches(log):
+    """Handler that records every batch it receives and echoes payloads."""
+
+    def handler(items):
+        log.append(list(items))
+        return list(items)
+
+    return handler
+
+
+class TestBatching:
+    def test_results_match_payloads(self):
+        log = []
+        with BatchExecutor(echo_batches(log), max_batch=4, workers=1) as ex:
+            futures = [ex.submit(i) for i in range(10)]
+            assert [f.result() for f in futures] == list(range(10))
+
+    def test_batches_never_exceed_max_batch(self):
+        log = []
+        gate = threading.Event()
+
+        def gated(items):
+            gate.wait(5.0)
+            log.append(list(items))
+            return list(items)
+
+        with BatchExecutor(gated, max_batch=3, workers=1,
+                           queue_depth=64) as ex:
+            futures = [ex.submit(i) for i in range(10)]
+            gate.set()
+            for future in futures:
+                future.result()
+        assert all(len(batch) <= 3 for batch in log)
+        # the queue was full when the worker woke, so real grouping happened
+        assert any(len(batch) > 1 for batch in log)
+
+    def test_queued_items_drain_in_fifo_order(self):
+        log = []
+        gate = threading.Event()
+
+        def gated(items):
+            gate.wait(5.0)
+            log.append(list(items))
+            return list(items)
+
+        with BatchExecutor(gated, max_batch=2, workers=1) as ex:
+            futures = [ex.submit(i) for i in range(6)]
+            gate.set()
+            [f.result() for f in futures]
+        assert [i for batch in log for i in batch] == list(range(6))
+
+
+class TestBackpressure:
+    def test_full_queue_rejects(self):
+        release = threading.Event()
+
+        def blocking(items):
+            release.wait(5.0)
+            return list(items)
+
+        ex = BatchExecutor(blocking, max_batch=1, queue_depth=2, workers=1)
+        try:
+            accepted = [ex.submit(0)]  # worker grabs this one
+            time.sleep(0.05)
+            accepted += [ex.submit(1), ex.submit(2)]  # fills the queue
+            with pytest.raises(ServeOverloadedError) as info:
+                ex.submit(3)
+            assert info.value.queue_depth == 2
+            release.set()
+            assert [f.result() for f in accepted] == [0, 1, 2]
+        finally:
+            release.set()
+            ex.shutdown()
+
+    def test_timeout_while_queued(self):
+        release = threading.Event()
+
+        def blocking(items):
+            release.wait(5.0)
+            return list(items)
+
+        ex = BatchExecutor(blocking, max_batch=1, queue_depth=8, workers=1)
+        try:
+            blocker = ex.submit("blocker")
+            victim = ex.submit("victim", timeout_s=0.01)
+            time.sleep(0.05)
+            release.set()
+            with pytest.raises(ServeTimeoutError):
+                victim.result()
+            assert blocker.result() == "blocker"
+        finally:
+            release.set()
+            ex.shutdown()
+
+
+class TestFailureIsolation:
+    def test_handler_exception_fails_whole_batch(self):
+        def broken(items):
+            raise RuntimeError("boom")
+
+        with BatchExecutor(broken, max_batch=4, workers=1) as ex:
+            future = ex.submit(1)
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result()
+
+    def test_exception_instance_fails_single_item(self):
+        def selective(items):
+            return [
+                ValueError(f"bad {item}") if item % 2 else item
+                for item in items
+            ]
+
+        with BatchExecutor(selective, max_batch=8, workers=1) as ex:
+            futures = [ex.submit(i) for i in range(4)]
+            assert futures[0].result() == 0
+            assert futures[2].result() == 2
+            for index in (1, 3):
+                with pytest.raises(ValueError, match=f"bad {index}"):
+                    futures[index].result()
+
+    def test_wrong_result_count_fails_batch(self):
+        def short(items):
+            return items[:-1] if len(items) > 1 else list(items)
+
+        gate = threading.Event()
+
+        def gated(items):
+            gate.wait(5.0)
+            return short(items)
+
+        with BatchExecutor(gated, max_batch=4, workers=1) as ex:
+            futures = [ex.submit(i) for i in range(3)]
+            gate.set()
+            with pytest.raises(ServeError):
+                for future in futures:
+                    future.result()
+
+
+class TestLifecycle:
+    def test_shutdown_rejects_new_work(self):
+        ex = BatchExecutor(lambda items: list(items), workers=1)
+        assert ex.submit(1).result() == 1
+        ex.shutdown()
+        with pytest.raises(ServeError):
+            ex.submit(2)
+
+    def test_shutdown_is_idempotent(self):
+        ex = BatchExecutor(lambda items: list(items), workers=1)
+        ex.shutdown()
+        ex.shutdown()
+
+    def test_pending_counts_queued_items(self):
+        release = threading.Event()
+
+        def blocking(items):
+            release.wait(5.0)
+            return list(items)
+
+        ex = BatchExecutor(blocking, max_batch=1, queue_depth=8, workers=1)
+        try:
+            ex.submit(0)
+            time.sleep(0.05)
+            ex.submit(1)
+            ex.submit(2)
+            assert ex.pending() == 2
+        finally:
+            release.set()
+            ex.shutdown()

@@ -1,0 +1,176 @@
+"""End-to-end HTTP serving with a stdlib-only client (urllib)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import create_engine
+from repro.circuits.spice import write_spice
+from repro.serve import PredictionServer, request_from_json
+from repro.errors import ApiError
+
+
+@pytest.fixture(scope="module")
+def served(api_cap_predictor, api_multi_model):
+    engine = create_engine(
+        {"CAP": api_cap_predictor, "multi": api_multi_model}, workers=1
+    )
+    with PredictionServer(engine, port=0) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def netlist_text(tiny_bundle):
+    return write_spice(tiny_bundle.records("test")[0].circuit)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post_error(url, payload):
+    try:
+        _post(url, payload)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+    raise AssertionError("expected an HTTP error status")
+
+
+class TestRequestFromJson:
+    def test_full_payload(self, netlist_text):
+        request = request_from_json(
+            {"netlist": netlist_text, "name": "x", "targets": ["CAP"],
+             "model": "CAP", "use_cache": False}
+        )
+        assert request.netlist_text == netlist_text
+        assert request.name == "x"
+        assert request.targets == ("CAP",)
+        assert request.model == "CAP"
+        assert request.options.use_cache is False
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ApiError, match="JSON object"):
+            request_from_json(["nope"])
+
+    def test_rejects_missing_netlist(self):
+        with pytest.raises(ApiError, match="netlist"):
+            request_from_json({"name": "x"})
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        status, payload = _get(served.url + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert {row["name"] for row in payload["models"]} == {"CAP", "multi"}
+
+    def test_predict_single(self, served, netlist_text, tiny_bundle,
+                            api_cap_predictor):
+        status, payload = _post(
+            served.url + "/predict", {"netlist": netlist_text, "model": "CAP"}
+        )
+        assert status == 200
+        values = payload["targets"]["CAP"]["values"]
+        record = tiny_bundle.records("test")[0]
+        want = api_cap_predictor.predict(record)
+        assert len(values) == len(want[0])
+        assert payload["model"]["name"] == "CAP"
+
+    def test_predict_batch_items(self, served, netlist_text):
+        status, payload = _post(
+            served.url + "/predict",
+            {"items": [
+                {"netlist": netlist_text, "model": "CAP"},
+                {"netlist": netlist_text, "model": "multi"},
+            ]},
+        )
+        assert status == 200
+        results = payload["results"]
+        assert len(results) == 2
+        assert set(results[0]["targets"]) == {"CAP"}
+        assert set(results[1]["targets"]) == {"CAP", "SA"}
+
+    def test_metrics_nested_under_serve(self, served, netlist_text):
+        _post(served.url + "/predict", {"netlist": netlist_text, "model": "CAP"})
+        status, payload = _get(served.url + "/metrics")
+        assert status == 200
+        stats = payload["serve"]
+        assert stats["graph_cache"]["hits"] + stats["graph_cache"]["misses"] > 0
+        assert stats["executor"]["queue_depth"] > 0
+        assert "pending" in stats["executor"]
+
+
+class TestErrorMapping:
+    def test_bad_json_is_400(self, served):
+        code, payload = _post_error(served.url + "/predict", b"{not json")
+        assert code == 400
+        assert "not valid JSON" in payload["message"]
+
+    def test_missing_netlist_is_400(self, served):
+        code, payload = _post_error(served.url + "/predict", {"name": "x"})
+        assert code == 400
+        assert "netlist" in payload["message"]
+
+    def test_no_default_model_is_400(self, served, netlist_text):
+        # this registry has two models and no "default" entry
+        code, payload = _post_error(
+            served.url + "/predict", {"netlist": netlist_text}
+        )
+        assert code == 400
+        assert "no default" in payload["message"]
+
+    def test_ungraphable_netlist_is_400(self, served):
+        code, payload = _post_error(
+            served.url + "/predict",
+            {"netlist": "* empty\n.end\n", "model": "CAP"},
+        )
+        assert code == 400
+        assert "no signal nets" in payload["message"]
+
+    def test_unknown_model_is_404(self, served, netlist_text):
+        code, payload = _post_error(
+            served.url + "/predict", {"netlist": netlist_text, "model": "nope"}
+        )
+        assert code == 404
+        assert "unknown model" in payload["message"]
+
+    def test_unknown_route_is_404(self, served):
+        try:
+            _get(served.url + "/nope")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+        else:
+            raise AssertionError("expected 404")
+        code, _ = _post_error(served.url + "/other", {})
+        assert code == 404
+
+
+class TestCliServeBuild:
+    def test_serve_build_wires_registry_and_server(self, tmp_path,
+                                                   api_cap_predictor):
+        from repro.cli import _serve_build, build_parser
+
+        api_cap_predictor.save(tmp_path / "CAP.npz")
+        args = build_parser().parse_args(
+            ["serve", "--models", str(tmp_path), "--port", "0"]
+        )
+        engine, server = _serve_build(args)
+        try:
+            server.start()
+            status, payload = _get(server.url + "/healthz")
+            assert status == 200
+            assert payload["models"][0]["name"] == "CAP"
+        finally:
+            server.shutdown()

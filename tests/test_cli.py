@@ -173,6 +173,49 @@ class TestPredictCliEndToEnd:
             line = next(l for l in out.splitlines() if l.split() and l.split()[0] == net)
             assert line.split()[-1].endswith("F")
 
+    def test_predict_multiple_netlists(self, cap_model, tmp_path, capsys):
+        first = tmp_path / "a.sp"
+        second = tmp_path / "b.sp"
+        first.write_text(SPICE_OTA)
+        second.write_text(SPICE_OTA.replace("10k", "22k"))
+        code = main(
+            ["predict", "--model", str(cap_model),
+             "--netlist", str(first), "--netlist", str(second)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"CAP predictions for {first}:" in out
+        assert f"CAP predictions for {second}:" in out
+
+    def test_predict_json_output(self, cap_model, tmp_path, capsys):
+        import json
+
+        netlist = tmp_path / "amp.sp"
+        netlist.write_text(SPICE_OTA)
+        code = main(
+            ["predict", "--model", str(cap_model),
+             "--netlist", str(netlist), "--json"]
+        )
+        assert code == 0
+        results = json.loads(capsys.readouterr().out)
+        assert isinstance(results, list) and len(results) == 1
+        target = results[0]["targets"]["CAP"]
+        assert target["unit"] == "F"
+        assert set(target["values"]) >= {"in", "out"}
+        # provenance carries the artifact's content-hash version
+        assert len(results[0]["model"]["version"]) == 12
+
+    def test_annotate_rejects_multiple_netlists(self, cap_model, tmp_path, capsys):
+        netlist = tmp_path / "amp.sp"
+        netlist.write_text(SPICE_OTA)
+        code = main(
+            ["predict", "--model", str(cap_model),
+             "--netlist", str(netlist), "--netlist", str(netlist),
+             "--annotate", str(tmp_path / "out.sp")]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
     def test_predict_values_are_finite_and_positive(self, cap_model, tmp_path, capsys):
         netlist = tmp_path / "amp.sp"
         netlist.write_text(SPICE_OTA)
