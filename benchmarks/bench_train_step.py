@@ -1,0 +1,165 @@
+"""Full-train-step benchmark: plan-based CSR kernels vs legacy scatters.
+
+Measures one complete ParaGraph training step (forward + backward + Adam
+update) on the merged training split — the exact workload of
+``TargetPredictor.fit`` — with the segment-plan engine on and off, plus the
+three segment kernels in isolation.  The before/after record lands in
+``benchmarks/results/train_step.json``.
+
+``REPRO_BENCH_MIN_SPEEDUP`` sets the minimum acceptable full-step speedup
+of the plan engine over the legacy ``np.add.at`` kernels (default 2.0; the
+CI perf-smoke job relaxes it to 1.0 because tiny graphs amortise nothing).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._util import emit_json
+from repro.circuits.devices import NODE_TYPES
+from repro.data.targets import target_by_name
+from repro.flows.runtime import MergedInputsCache
+from repro.graph.features import feature_dim
+from repro.models import GNNRegressor
+from repro.nn import Adam, Tensor, mse_loss, ops
+from repro.rng import stream
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+@pytest.fixture(scope="module")
+def train_setup(bundle):
+    """Merged training split + a fresh ParaGraph model and optimizer."""
+    records = bundle.records("train")
+    cache = MergedInputsCache()
+    inputs, ids, values = cache.merged_target(
+        records, bundle.scaler, target_by_name("CAP")
+    )
+    model = GNNRegressor(
+        "paragraph",
+        {t: feature_dim(t) for t in NODE_TYPES},
+        stream(0, "bench-train-step"),
+        embed_dim=32,
+        num_layers=5,
+    )
+    optimizer = Adam(model.parameters(), lr=0.01)
+    target = Tensor(np.log1p(np.abs(values)).reshape(-1, 1))
+
+    def step():
+        optimizer.zero_grad()
+        loss = mse_loss(model(inputs, ids), target)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    return inputs, ids, step
+
+
+def _time_steps(step, repeats: int = 3, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of one training step, in seconds."""
+    for _ in range(warmup):
+        step()
+    best = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        step()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def _time_call(fn, repeats: int = 5, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def _kernel_cases(inputs):
+    """The three hot segment kernels on the merged graph's edge arrays."""
+    dst = inputs.merged_dst
+    _, dst_plan = inputs.merged_plans()
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((len(dst), 32)))
+    nodes = Tensor(rng.standard_normal((inputs.num_nodes, 32)))
+    scores = Tensor(rng.standard_normal((len(dst), 1)))
+
+    def seg_sum(plan):
+        out = ops.segment_sum(x, dst, inputs.num_nodes, plan=plan)
+        out.backward(np.ones_like(out.data))
+
+    def softmax(plan):
+        out = ops.segment_softmax(scores, dst, inputs.num_nodes, plan=plan)
+        out.backward(np.ones_like(out.data))
+
+    def gather_bwd(plan):
+        out = ops.gather_rows(nodes, dst, plan=plan)
+        out.backward(np.ones_like(out.data))
+
+    return {
+        "segment_sum_fwd_bwd": seg_sum,
+        "segment_softmax_fwd_bwd": softmax,
+        "gather_rows_fwd_bwd": gather_bwd,
+    }, dst_plan
+
+
+def test_train_step_plan_speedup(benchmark, train_setup, config):
+    inputs, ids, step = train_setup
+
+    # Manual best-of timing of both modes for a symmetric speedup figure.
+    with ops.use_legacy_kernels():
+        legacy_seconds = _time_steps(step)
+    plan_seconds = _time_steps(step)
+    speedup = legacy_seconds / plan_seconds
+
+    # Isolated kernel timings, legacy vs plan.
+    cases, dst_plan = _kernel_cases(inputs)
+    kernels = {}
+    for name, fn in cases.items():
+        with ops.use_legacy_kernels():
+            legacy = _time_call(lambda: fn(None))
+        planned = _time_call(lambda: fn(dst_plan))
+        kernels[name] = {
+            "legacy_seconds": legacy,
+            "plan_seconds": planned,
+            "speedup": legacy / planned,
+        }
+
+    # pytest-benchmark statistics for the steady-state plan-based step.
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+    emit_json(
+        "train_step", benchmark,
+        params={
+            "model": "paragraph",
+            "embed_dim": 32,
+            "num_layers": 5,
+            "dtype": "float64",
+            "num_nodes": inputs.num_nodes,
+            "num_edges": len(inputs.merged_dst),
+            "num_target_nodes": len(ids),
+            "dataset_scale": config.dataset_scale,
+        },
+        metrics={
+            "legacy_step_seconds": legacy_seconds,
+            "plan_step_seconds": plan_seconds,
+            "speedup": speedup,
+            "min_speedup_required": MIN_SPEEDUP,
+            "kernels": kernels,
+            "loss": loss,
+        },
+    )
+    print(
+        f"\ntrain step: legacy={legacy_seconds * 1e3:.1f}ms "
+        f"plan={plan_seconds * 1e3:.1f}ms ({speedup:.2f}x)",
+        flush=True,
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"plan engine speedup {speedup:.2f}x below required {MIN_SPEEDUP}x"
+    )

@@ -1,0 +1,134 @@
+"""Validate benchmark JSON results and guard against gross timing drift.
+
+Every benchmark writes ``benchmarks/results/<name>.json`` through
+:func:`benchmarks._util.emit_json` with a fixed schema (``name``,
+``params``, ``timings``, ``metrics``).  This checker enforces that schema
+and, when given a baseline directory, compares each benchmark's timing
+against its baseline counterpart: a >``--max-drift``x slowdown fails.  The
+threshold is deliberately loose (default 10x) — the CI perf-smoke job runs
+on shared runners at reduced dataset scale, so it only catches order-of-
+magnitude regressions (an accidental ``np.add.at`` fallback, a lost cache),
+not percent-level noise.
+
+Usage::
+
+    python benchmarks/check_results.py --fresh benchmarks/results
+    python benchmarks/check_results.py \
+        --baseline /tmp/baseline --fresh benchmarks/results --max-drift 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REQUIRED_KEYS = ("name", "params", "timings", "metrics")
+
+
+def validate_file(path: str) -> tuple[dict | None, list[str]]:
+    """Load one result file; return (payload, list of schema errors)."""
+    errors = []
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, [f"{path}: unreadable JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return None, [f"{path}: top level must be an object"]
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            errors.append(f"{path}: missing key {key!r}")
+    expected_name = os.path.splitext(os.path.basename(path))[0]
+    if payload.get("name") != expected_name:
+        errors.append(
+            f"{path}: name {payload.get('name')!r} does not match filename"
+        )
+    for key in ("params", "timings", "metrics"):
+        if key in payload and not isinstance(payload[key], dict):
+            errors.append(f"{path}: {key!r} must be an object")
+    return payload, errors
+
+
+def representative_seconds(payload: dict) -> float | None:
+    """One timing figure per benchmark: median, else mean, else min."""
+    timings = payload.get("timings") or {}
+    for key in ("median", "mean", "min"):
+        value = timings.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value)
+    return None
+
+
+def check(baseline_dir: str | None, fresh_dir: str, max_drift: float) -> int:
+    fresh_files = sorted(
+        f for f in os.listdir(fresh_dir) if f.endswith(".json")
+    )
+    if not fresh_files:
+        print(f"ERROR: no result JSON files in {fresh_dir}", file=sys.stderr)
+        return 1
+    failures = []
+    for filename in fresh_files:
+        fresh_path = os.path.join(fresh_dir, filename)
+        payload, errors = validate_file(fresh_path)
+        failures.extend(errors)
+        if payload is None or errors:
+            continue
+        seconds = representative_seconds(payload)
+        line = f"{payload['name']}: {seconds:.6f}s" if seconds else payload["name"]
+        if baseline_dir:
+            base_path = os.path.join(baseline_dir, filename)
+            if not os.path.exists(base_path):
+                print(f"{line} (new benchmark, no baseline)")
+                continue
+            base_payload, base_errors = validate_file(base_path)
+            failures.extend(base_errors)
+            if base_payload is None or base_errors:
+                continue
+            base_seconds = representative_seconds(base_payload)
+            if seconds and base_seconds:
+                drift = seconds / base_seconds
+                print(f"{line} (baseline {base_seconds:.6f}s, {drift:.2f}x)")
+                if drift > max_drift:
+                    failures.append(
+                        f"{filename}: {drift:.1f}x slower than baseline "
+                        f"(limit {max_drift}x)"
+                    )
+            else:
+                print(f"{line} (no comparable timings)")
+        else:
+            print(line)
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(fresh_files)} result files valid")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+        help="directory of freshly produced result JSON files",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="directory of baseline result JSON files to compare against",
+    )
+    parser.add_argument(
+        "--max-drift",
+        type=float,
+        default=10.0,
+        help="maximum allowed slowdown factor vs baseline (default 10)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.baseline, args.fresh, args.max_drift)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

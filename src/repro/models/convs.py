@@ -35,6 +35,7 @@ from repro.nn import (
     segment_sum,
 )
 from repro.nn import init as nn_init
+from repro.nn import ops
 
 
 class GCNConv(Module):
@@ -46,11 +47,11 @@ class GCNConv(Module):
 
     def forward(self, h: Tensor, inputs: GraphInputs) -> Tensor:
         src, dst = inputs.with_self_loops()
-        degree = inputs.in_degrees(include_self_loops=True)
-        inv_sqrt = Tensor((1.0 / np.sqrt(np.maximum(degree, 1.0))).reshape(-1, 1))
+        src_plan, dst_plan = inputs.loop_plans()
+        inv_sqrt = Tensor(inputs.gcn_inv_sqrt_degree(h.data.dtype))
         scaled = h * inv_sqrt  # 1/sqrt(d_j) on the source side
-        messages = gather_rows(scaled, src)
-        agg = segment_sum(messages, dst, inputs.num_nodes) * inv_sqrt
+        messages = gather_rows(scaled, src, plan=src_plan)
+        agg = segment_sum(messages, dst, inputs.num_nodes, plan=dst_plan) * inv_sqrt
         return relu(self.linear(agg))
 
 
@@ -63,8 +64,11 @@ class SageConv(Module):
         self.neigh_bias = Parameter(nn_init.zeros((dim,)))
 
     def forward(self, h: Tensor, inputs: GraphInputs) -> Tensor:
-        messages = gather_rows(h, inputs.merged_src)
-        h_neigh = segment_mean(messages, inputs.merged_dst, inputs.num_nodes)
+        src_plan, dst_plan = inputs.merged_plans()
+        messages = gather_rows(h, inputs.merged_src, plan=src_plan)
+        h_neigh = segment_mean(
+            messages, inputs.merged_dst, inputs.num_nodes, plan=dst_plan
+        )
         combined = concat([h, h_neigh + self.neigh_bias], axis=1)
         out = relu(self.linear(combined))
         return l2_normalize_rows(out)
@@ -91,10 +95,14 @@ class RGCNConv(Module):
             if len(src) == 0:
                 continue
             weight = self.relation_weights[edge_type]
-            messages = gather_rows(h @ weight, src)
-            summed = segment_sum(messages, dst, inputs.num_nodes)
-            counts = np.bincount(dst, minlength=inputs.num_nodes).astype(np.float64)
-            inv = Tensor((1.0 / np.maximum(counts, 1.0)).reshape(-1, 1))
+            src_plan, dst_plan = inputs.edge_plans(edge_type)
+            if ops.plans_enabled():
+                # Gather-first: transform E edge rows, not all N nodes.
+                messages = gather_rows(h, src, plan=src_plan) @ weight
+            else:
+                messages = gather_rows(h @ weight, src, plan=src_plan)
+            summed = segment_sum(messages, dst, inputs.num_nodes, plan=dst_plan)
+            inv = Tensor(inputs.edge_inv_counts(edge_type, h.data.dtype))
             contribution = summed * inv
             agg = contribution if agg is None else agg + contribution
         self_term = h @ self.self_weight
@@ -116,16 +124,18 @@ class GATConv(Module):
 
     def forward(self, h: Tensor, inputs: GraphInputs) -> Tensor:
         src, dst = inputs.with_self_loops()
+        src_plan, dst_plan = inputs.loop_plans()
         wh = h @ self.weight
         score_dst = wh @ self.attn_dst
         score_src = wh @ self.attn_src
         logits = leaky_relu(
-            gather_rows(score_dst, dst) + gather_rows(score_src, src),
+            gather_rows(score_dst, dst, plan=dst_plan)
+            + gather_rows(score_src, src, plan=src_plan),
             self.negative_slope,
         )
-        alpha = segment_softmax(logits, dst, inputs.num_nodes)
-        messages = gather_rows(wh, src) * alpha
-        return relu(segment_sum(messages, dst, inputs.num_nodes))
+        alpha = segment_softmax(logits, dst, inputs.num_nodes, plan=dst_plan)
+        messages = gather_rows(wh, src, plan=src_plan) * alpha
+        return relu(segment_sum(messages, dst, inputs.num_nodes, plan=dst_plan))
 
 
 class ParaGraphConv(Module):
@@ -191,22 +201,53 @@ class ParaGraphConv(Module):
         return edge_type if self.group_edge_types else "__shared__"
 
     def _aggregate_head(
-        self, h: Tensor, inputs: GraphInputs, key: str,
-        src: np.ndarray, dst: np.ndarray, wh_cache: dict[str, Tensor],
+        self, h: Tensor, inputs: GraphInputs, key: str, edge_type: str,
+        src: np.ndarray, dst: np.ndarray, wh_cache: dict,
     ) -> Tensor:
+        src_plan, dst_plan = inputs.edge_plans(edge_type)
+        if ops.plans_enabled() and self.group_edge_types:
+            # Gather-first: each edge type has its own weight, so transform
+            # only the 2·E edge-incident rows instead of all N nodes per
+            # type.  The per-type h[src]/h[dst] gathers are shared across
+            # heads through *wh_cache*.
+            hs_key = ("h_src", edge_type)
+            if hs_key not in wh_cache:
+                wh_cache[hs_key] = gather_rows(h, src, plan=src_plan)
+            wh_src = wh_cache[hs_key] @ self.type_weights[key]
+            if self.use_attention:
+                hd_key = ("h_dst", edge_type)
+                if hd_key not in wh_cache:
+                    wh_cache[hd_key] = gather_rows(h, dst, plan=dst_plan)
+                wh_dst = wh_cache[hd_key] @ self.type_weights[key]
+                logits = leaky_relu(
+                    wh_dst @ self.attn_dst[key] + wh_src @ self.attn_src[key],
+                    self.negative_slope,
+                )
+                alpha = segment_softmax(
+                    logits, dst, inputs.num_nodes, plan=dst_plan
+                )
+                return segment_sum(
+                    wh_src * alpha, dst, inputs.num_nodes, plan=dst_plan
+                )
+            return segment_mean(wh_src, dst, inputs.num_nodes, plan=dst_plan)
         if key not in wh_cache:
             wh_cache[key] = h @ self.type_weights[key]
         wh = wh_cache[key]
         if self.use_attention:
             logits = leaky_relu(
-                gather_rows(wh @ self.attn_dst[key], dst)
-                + gather_rows(wh @ self.attn_src[key], src),
+                gather_rows(wh @ self.attn_dst[key], dst, plan=dst_plan)
+                + gather_rows(wh @ self.attn_src[key], src, plan=src_plan),
                 self.negative_slope,
             )
-            alpha = segment_softmax(logits, dst, inputs.num_nodes)
-            messages = gather_rows(wh, src) * alpha
-            return segment_sum(messages, dst, inputs.num_nodes)
-        return segment_mean(gather_rows(wh, src), dst, inputs.num_nodes)
+            alpha = segment_softmax(logits, dst, inputs.num_nodes, plan=dst_plan)
+            messages = gather_rows(wh, src, plan=src_plan) * alpha
+            return segment_sum(messages, dst, inputs.num_nodes, plan=dst_plan)
+        return segment_mean(
+            gather_rows(wh, src, plan=src_plan),
+            dst,
+            inputs.num_nodes,
+            plan=dst_plan,
+        )
 
     def attention_weights(
         self, h: Tensor, inputs: GraphInputs
@@ -225,13 +266,14 @@ class ParaGraphConv(Module):
             if len(src) == 0:
                 continue
             key = f"{self._group_key(edge_type)}#0"
+            src_plan, dst_plan = inputs.edge_plans(edge_type)
             wh = h @ self.type_weights[key]
             logits = leaky_relu(
-                gather_rows(wh @ self.attn_dst[key], dst)
-                + gather_rows(wh @ self.attn_src[key], src),
+                gather_rows(wh @ self.attn_dst[key], dst, plan=dst_plan)
+                + gather_rows(wh @ self.attn_src[key], src, plan=src_plan),
                 self.negative_slope,
             )
-            alpha = segment_softmax(logits, dst, inputs.num_nodes)
+            alpha = segment_softmax(logits, dst, inputs.num_nodes, plan=dst_plan)
             weights[edge_type] = alpha.numpy().ravel().copy()
         return weights
 
@@ -247,7 +289,7 @@ class ParaGraphConv(Module):
                 raise ModelError(f"no weights for edge type {edge_type!r}")
             heads = [
                 self._aggregate_head(
-                    h, inputs, f"{group_key}#{head}", src, dst, wh_cache
+                    h, inputs, f"{group_key}#{head}", edge_type, src, dst, wh_cache
                 )
                 for head in range(self.num_heads)
             ]

@@ -32,7 +32,8 @@ class NodeTypeEncoder(Module):
 
     def forward(self, inputs: GraphInputs) -> Tensor:
         """Return the (num_nodes, embed_dim) initial embedding matrix."""
-        pieces, indices = [], []
+        pieces, indices, plans = [], [], []
+        type_plans = inputs.node_type_plans()
         for type_name in sorted(inputs.features):
             transform = self.transforms.get(type_name)
             if transform is None:
@@ -41,4 +42,5 @@ class NodeTypeEncoder(Module):
                 )
             pieces.append(transform(Tensor(inputs.features[type_name])))
             indices.append(inputs.nodes_of_type[type_name])
-        return scatter_rows(pieces, indices, inputs.num_nodes)
+            plans.append(type_plans.get(type_name))
+        return scatter_rows(pieces, indices, inputs.num_nodes, plans=plans)

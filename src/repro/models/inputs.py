@@ -5,6 +5,15 @@ edge arrays in the exact form the GNN layers consume: per-type feature
 matrices for the input transform, per-edge-type COO arrays for relational
 layers, and a merged (homogenised) edge list for the baseline GNNs that
 ignore edge types.
+
+It is also the home of the *graph compute plan*: every index-derived
+artifact the convolution layers need — self-loop-augmented edge lists,
+degree vectors, GCN/RGCN normalisers, and the
+:class:`~repro.nn.plan.SegmentPlan` reduction schedules for the segment
+kernels — is computed lazily once per graph and cached here.  A merged
+training split (shared through :class:`repro.flows.runtime.MergedInputsCache`)
+therefore pays for each argsort/bincount exactly once across all epochs,
+targets and ensemble members.
 """
 
 from __future__ import annotations
@@ -16,11 +25,18 @@ import numpy as np
 from repro.data.dataset import CircuitRecord
 from repro.data.normalize import FeatureScaler
 from repro.graph.hetero import HeteroGraph
+from repro.nn.plan import SegmentPlan
+from repro.nn import precision
 
 
 @dataclass
 class GraphInputs:
-    """Preprocessed tensors for one graph (or a merged split)."""
+    """Preprocessed tensors for one graph (or a merged split).
+
+    Arrays handed out by the cached accessors (edge lists, degrees,
+    normalisers, plans) are shared across callers — treat them as
+    read-only.
+    """
 
     num_nodes: int
     features: dict[str, np.ndarray]
@@ -28,6 +44,8 @@ class GraphInputs:
     edges: dict[str, tuple[np.ndarray, np.ndarray]]
     merged_src: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     merged_dst: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: lazy cache of plans/normalisers; never compared or merged
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def from_graph(cls, graph: HeteroGraph, scaler: FeatureScaler) -> "GraphInputs":
@@ -107,17 +125,110 @@ class GraphInputs:
             offsets,
         )
 
+    # ------------------------------------------------------------------
+    # Cached graph compute plan
+    # ------------------------------------------------------------------
+    def _cached(self, key, build):
+        value = self._cache.get(key)
+        if value is None:
+            value = build()
+            self._cache[key] = value
+        return value
+
     def with_self_loops(self) -> tuple[np.ndarray, np.ndarray]:
         """Merged edges plus one self-loop per node (GCN/GAT convention)."""
-        loops = np.arange(self.num_nodes, dtype=np.int64)
-        return (
-            np.concatenate([self.merged_src, loops]),
-            np.concatenate([self.merged_dst, loops]),
-        )
+
+        def build():
+            loops = np.arange(self.num_nodes, dtype=np.int64)
+            return (
+                np.concatenate([self.merged_src, loops]),
+                np.concatenate([self.merged_dst, loops]),
+            )
+
+        return self._cached("self_loop_edges", build)
 
     def in_degrees(self, include_self_loops: bool = False) -> np.ndarray:
         """In-degree per node over the merged edge list."""
-        deg = np.bincount(self.merged_dst, minlength=self.num_nodes).astype(np.float64)
-        if include_self_loops:
-            deg += 1.0
-        return deg
+
+        def build():
+            deg = np.bincount(
+                self.merged_dst, minlength=self.num_nodes
+            ).astype(np.float64)
+            if include_self_loops:
+                deg += 1.0
+            return deg
+
+        return self._cached(("in_degrees", bool(include_self_loops)), build)
+
+    # -- SegmentPlan schedules (see repro.nn.plan) ----------------------
+    def merged_plans(self) -> tuple[SegmentPlan, SegmentPlan]:
+        """(src, dst) reduction plans over the merged edge list."""
+        return (
+            self._cached(
+                "merged_src_plan",
+                lambda: SegmentPlan.build(self.merged_src, self.num_nodes),
+            ),
+            self._cached(
+                "merged_dst_plan",
+                lambda: SegmentPlan.build(self.merged_dst, self.num_nodes),
+            ),
+        )
+
+    def loop_plans(self) -> tuple[SegmentPlan, SegmentPlan]:
+        """(src, dst) plans over the self-loop-augmented merged edge list."""
+        src, dst = self.with_self_loops()
+        return (
+            self._cached(
+                "loop_src_plan", lambda: SegmentPlan.build(src, self.num_nodes)
+            ),
+            self._cached(
+                "loop_dst_plan", lambda: SegmentPlan.build(dst, self.num_nodes)
+            ),
+        )
+
+    def edge_plans(self, edge_type: str) -> tuple[SegmentPlan, SegmentPlan]:
+        """(src, dst) plans for one edge type's COO arrays."""
+        src, dst = self.edges[edge_type]
+        return (
+            self._cached(
+                ("edge_src_plan", edge_type),
+                lambda: SegmentPlan.build(src, self.num_nodes),
+            ),
+            self._cached(
+                ("edge_dst_plan", edge_type),
+                lambda: SegmentPlan.build(dst, self.num_nodes),
+            ),
+        )
+
+    def node_type_plans(self) -> dict[str, SegmentPlan]:
+        """Scatter plans for placing per-type rows into the node matrix."""
+        return self._cached(
+            "node_type_plans",
+            lambda: {
+                type_name: SegmentPlan.build(ids, self.num_nodes)
+                for type_name, ids in self.nodes_of_type.items()
+            },
+        )
+
+    # -- Cached layer normalisers (dtype-keyed) -------------------------
+    def gcn_inv_sqrt_degree(self, dtype: "np.dtype | None" = None) -> np.ndarray:
+        """``1/sqrt(max(deg, 1))`` column over self-loop-augmented degrees."""
+        dtype = np.dtype(dtype) if dtype is not None else precision.get_compute_dtype()
+
+        def build():
+            degree = self.in_degrees(include_self_loops=True)
+            return (1.0 / np.sqrt(np.maximum(degree, 1.0))).astype(dtype).reshape(-1, 1)
+
+        return self._cached(("gcn_inv_sqrt", dtype), build)
+
+    def edge_inv_counts(
+        self, edge_type: str, dtype: "np.dtype | None" = None
+    ) -> np.ndarray:
+        """``1/max(in_count, 1)`` column for one edge type (RGCN mean norm)."""
+        dtype = np.dtype(dtype) if dtype is not None else precision.get_compute_dtype()
+
+        def build():
+            _, dst_plan = self.edge_plans(edge_type)
+            return dst_plan.inverse_counts(dtype)
+
+        return self._cached(("edge_inv_counts", edge_type, dtype), build)

@@ -44,7 +44,7 @@ from repro.analysis.metrics import summarize
 from repro.circuits.devices import NODE_TYPES
 from repro.models.base import GNNRegressor
 from repro.models.inputs import GraphInputs
-from repro.nn import Adam, Tensor, global_grad_norm, mse_loss, no_grad
+from repro.nn import Adam, Tensor, global_grad_norm, mse_loss, no_grad, precision
 from repro.rng import stream
 
 
@@ -70,6 +70,12 @@ class TrainConfig:
     #: accurate.  CAP always trains linearly — the §IV ensemble behaviour
     #: (Fig. 5) depends on it.
     log_device_targets: bool = True
+    #: Compute precision for training (``"float64"`` or ``"float32"``).
+    #: float64 is the default and bit-compatible with historical runs;
+    #: float32 halves memory bandwidth on the segment kernels at ~1e-3
+    #: relative loss drift (see docs/performance.md).  Saved models are
+    #: always stored in float64 regardless of this knob.
+    dtype: str = "float64"
 
 
 @dataclass
@@ -167,12 +173,13 @@ class TargetPredictor:
             bit-for-bit.
         """
         with obs.span("train.fit", conv=self.conv, target=self.spec.name):
-            return self._fit(
-                bundle,
-                runtime=runtime,
-                inputs_cache=inputs_cache,
-                resume_from=resume_from,
-            )
+            with precision.compute_dtype(self.config.dtype):
+                return self._fit(
+                    bundle,
+                    runtime=runtime,
+                    inputs_cache=inputs_cache,
+                    resume_from=resume_from,
+                )
 
     def _fit(
         self,
@@ -457,16 +464,29 @@ class TargetPredictor:
             for earlier in model.convs[:layer]:
                 h = earlier(h, inputs)
             weights = conv.attention_weights(h, inputs)
-        rows: list[tuple[str, str, str, float]] = []
-        names = record.graph.node_name_of
+        if not weights:
+            return []
+        # Array-side assembly: gather edge endpoint names per edge type,
+        # concatenate across types, and order everything with one argsort
+        # instead of touching each edge from Python.
+        names = np.asarray(record.graph.node_name_of, dtype=object)
+        type_cols, src_cols, dst_cols, alpha_cols = [], [], [], []
         for edge_type, alpha in weights.items():
             src, dst = inputs.edges[edge_type]
-            for k in range(len(src)):
-                rows.append(
-                    (edge_type, names[src[k]], names[dst[k]], float(alpha[k]))
-                )
-        rows.sort(key=lambda row: -row[3])
-        return rows
+            type_cols.append(np.full(len(src), edge_type, dtype=object))
+            src_cols.append(names[src])
+            dst_cols.append(names[dst])
+            alpha_cols.append(np.asarray(alpha, dtype=np.float64))
+        types = np.concatenate(type_cols)
+        srcs = np.concatenate(src_cols)
+        dsts = np.concatenate(dst_cols)
+        alphas = np.concatenate(alpha_cols)
+        # stable sort keeps the historical tie order (edge-type insertion,
+        # then edge index) for equal weights
+        order = np.argsort(-alphas, kind="stable")
+        return [
+            (types[k], srcs[k], dsts[k], float(alphas[k])) for k in order
+        ]
 
     def embed_record(self, record: CircuitRecord) -> tuple[np.ndarray, np.ndarray]:
         """(target node_ids, embedding rows) — used for t-SNE (Fig. 8)."""
@@ -510,8 +530,11 @@ class TargetPredictor:
         """Write the trained model (weights + both scalers + config) to .npz."""
         model = self._require_fit()
         cfg = self.config
+        # weights are stored in float64 regardless of the training dtype so
+        # artifacts stay portable across precision policies
         payload: dict[str, np.ndarray] = {
-            f"param/{name}": value for name, value in model.state_dict().items()
+            f"param/{name}": value.astype(np.float64, copy=False)
+            for name, value in model.state_dict().items()
         }
         fc_layers = (
             self._fc_layers
@@ -538,6 +561,7 @@ class TargetPredictor:
             "epochs": cfg.epochs,
             "lr": cfg.lr,
             "run_seed": cfg.run_seed,
+            "dtype": cfg.dtype,
         }
         if isinstance(self.target_scaler, LogTargetScaler):
             meta["target_scaler_floor"] = self.target_scaler.floor
@@ -569,6 +593,7 @@ class TargetPredictor:
                     epochs=meta.get("epochs", base_cfg.epochs),
                     lr=meta.get("lr", base_cfg.lr),
                     run_seed=meta.get("run_seed", base_cfg.run_seed),
+                    dtype=meta.get("dtype", base_cfg.dtype),
                 ),
             )
             predictor._fc_layers = meta["num_fc_layers"]

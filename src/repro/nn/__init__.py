@@ -9,6 +9,7 @@ Public surface::
     loss.backward()
 """
 
+from repro.nn import precision
 from repro.nn.layers import MLP, Linear, get_activation
 from repro.nn.loss import huber_loss, mae_loss, mse_loss
 from repro.nn.module import Module, Parameter
@@ -18,6 +19,7 @@ from repro.nn.ops import (
     gather_rows,
     l2_normalize_rows,
     leaky_relu,
+    plans_enabled,
     relu,
     scatter_rows,
     segment_mean,
@@ -25,7 +27,10 @@ from repro.nn.ops import (
     segment_sum,
     sigmoid,
     tanh,
+    use_legacy_kernels,
 )
+from repro.nn.plan import SegmentPlan
+from repro.nn.precision import compute_dtype, get_compute_dtype, set_compute_dtype
 from repro.nn.optim import (
     SGD,
     Adam,
@@ -42,6 +47,13 @@ from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 __all__ = [
     "MLP",
     "Linear",
+    "SegmentPlan",
+    "compute_dtype",
+    "get_compute_dtype",
+    "plans_enabled",
+    "precision",
+    "set_compute_dtype",
+    "use_legacy_kernels",
     "get_activation",
     "huber_loss",
     "mae_loss",

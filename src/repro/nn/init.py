@@ -1,8 +1,14 @@
-"""Weight initialisation schemes."""
+"""Weight initialisation schemes.
+
+Draws are always made in float64 (so a given seed yields the same weights
+under every precision policy) and then cast to the active compute dtype.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn import precision
 
 
 def xavier_uniform(
@@ -11,7 +17,8 @@ def xavier_uniform(
     """Glorot/Xavier uniform initialisation for a 2-D weight matrix."""
     fan_in, fan_out = _fans(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    draw = rng.uniform(-limit, limit, size=shape)
+    return draw.astype(precision.get_compute_dtype(), copy=False)
 
 
 def kaiming_uniform(
@@ -21,12 +28,13 @@ def kaiming_uniform(
     fan_in, _ = _fans(shape)
     gain = np.sqrt(2.0 / (1.0 + negative_slope**2))
     limit = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    draw = rng.uniform(-limit, limit, size=shape)
+    return draw.astype(precision.get_compute_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
     """All-zero initialisation (biases)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=precision.get_compute_dtype())
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -10,6 +10,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn import precision
 from repro.nn.tensor import Tensor
 
 
@@ -17,7 +18,10 @@ class Parameter(Tensor):
     """A leaf tensor registered as trainable state of a module."""
 
     def __init__(self, data):
-        super().__init__(np.array(data, dtype=np.float64), requires_grad=True)
+        super().__init__(
+            np.array(data, dtype=precision.get_compute_dtype()),
+            requires_grad=True,
+        )
 
 
 class Module:
@@ -109,7 +113,7 @@ class Module:
         for name, param in self.named_parameters():
             if name not in state:
                 raise KeyError(f"missing parameter {name!r} in state dict")
-            array = np.asarray(state[name], dtype=np.float64)
+            array = np.asarray(state[name], dtype=precision.get_compute_dtype())
             if array.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: "

@@ -7,22 +7,82 @@ operations every message-passing layer in the library is built from:
 * :func:`segment_sum` — scatter-add of edge messages into destination nodes,
 * :func:`segment_softmax` — softmax over the incoming edges of each node
   (the attention normaliser of GAT and ParaGraph).
+
+The scatter-style kernels (forward of the segment ops *and* the
+scatter-add backward of :func:`gather_rows`) run through
+:class:`~repro.nn.plan.SegmentPlan` — a sorted-CSR reduction schedule
+whose scatter-add is bit-identical to the historical unbuffered
+``np.add.at`` but an order of magnitude faster.  :func:`segment_softmax`
+additionally fuses its shift/exp/sum/div chain into a single autodiff
+node when plans are enabled (same math, matching the composite form to
+roundoff).  Callers that own graph-shaped index arrays (the convolution
+layers) pass cached plans from :class:`repro.models.inputs.GraphInputs`;
+ad-hoc calls build a plan on the fly.  :func:`use_legacy_kernels`
+switches back to the unbuffered composite kernels for benchmarking and
+parity testing.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import contextlib
+import threading
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.nn.plan import SegmentPlan
 from repro.nn.tensor import Tensor, as_tensor
+
+# ----------------------------------------------------------------------
+# Kernel-mode switch (plan-based vs legacy np.add.at)
+# ----------------------------------------------------------------------
+_kernel_state = threading.local()
+
+
+def plans_enabled() -> bool:
+    """True when the scatter kernels use sorted-CSR plans (this thread)."""
+    return getattr(_kernel_state, "plans", True)
+
+
+@contextlib.contextmanager
+def use_legacy_kernels() -> Iterator[None]:
+    """Run the scatter kernels through unbuffered ``np.add.at``.
+
+    Exists for before/after benchmarking (``bench_train_step``) and for
+    parity tests asserting the plan-based kernels are bit-compatible.
+    Thread-local, like :func:`repro.nn.no_grad`.
+    """
+    previous = plans_enabled()
+    _kernel_state.plans = False
+    try:
+        yield
+    finally:
+        _kernel_state.plans = previous
+
+
+def _scatter_add(
+    index: np.ndarray,
+    values: np.ndarray,
+    num_rows: int,
+    plan: SegmentPlan | None = None,
+) -> np.ndarray:
+    """Sum rows of *values* into *num_rows* buckets selected by *index*."""
+    if not plans_enabled():
+        out = np.zeros((num_rows, *values.shape[1:]), dtype=values.dtype)
+        np.add.at(out, index, values)
+        return out
+    if plan is None:
+        plan = SegmentPlan.build(index, num_rows)
+    else:
+        plan.check(index, num_rows)
+    return plan.scatter_add(values)
 
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
     x = as_tensor(x)
-    mask = (x.data > 0).astype(np.float64)
+    mask = (x.data > 0).astype(x.data.dtype)
     out_data = x.data * mask
 
     def backward(grad: np.ndarray):
@@ -34,7 +94,7 @@ def relu(x: Tensor) -> Tensor:
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
     """Leaky ReLU with the GAT-default slope of 0.2."""
     x = as_tensor(x)
-    scale = np.where(x.data > 0, 1.0, negative_slope)
+    scale = np.where(x.data > 0, 1.0, negative_slope).astype(x.data.dtype, copy=False)
     out_data = x.data * scale
 
     def backward(grad: np.ndarray):
@@ -85,26 +145,38 @@ def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
     return Tensor._make(out_data, tuple(tensors), backward)
 
 
-def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
-    """Select rows of a 2-D (or 1-D) tensor: ``out[k] = x[index[k]]``."""
+def gather_rows(
+    x: Tensor, index: np.ndarray, plan: SegmentPlan | None = None
+) -> Tensor:
+    """Select rows of a 2-D (or 1-D) tensor: ``out[k] = x[index[k]]``.
+
+    *plan* (optional) is a :class:`SegmentPlan` over ``(index,
+    x.shape[0])`` used to turn the scatter-add backward into a sorted
+    reduction; graph layers pass the cached plans of their
+    :class:`~repro.models.inputs.GraphInputs`.
+    """
     x = as_tensor(x)
     index = np.asarray(index, dtype=np.int64)
     out_data = x.data[index]
-    in_shape = x.data.shape
+    num_rows = x.data.shape[0]
 
     def backward(grad: np.ndarray):
-        gx = np.zeros(in_shape, dtype=np.float64)
-        np.add.at(gx, index, grad)
-        return (gx,)
+        return (_scatter_add(index, grad, num_rows, plan),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
-def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    x: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
     """Sum rows of *x* into ``num_segments`` buckets.
 
     ``out[s] = sum_{k : segment_ids[k] == s} x[k]``.  Rows of *x* are edge
-    messages; *segment_ids* are destination-node ids.
+    messages; *segment_ids* are destination-node ids.  *plan* may carry the
+    precomputed reduction schedule for ``(segment_ids, num_segments)``.
     """
     x = as_tensor(x)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
@@ -113,9 +185,7 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
             f"segment_ids length {len(segment_ids)} does not match "
             f"leading dimension {x.data.shape[0]}"
         )
-    out_shape = (num_segments, *x.data.shape[1:])
-    out_data = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(out_data, segment_ids, x.data)
+    out_data = _scatter_add(segment_ids, x.data, num_segments, plan)
 
     def backward(grad: np.ndarray):
         return (grad[segment_ids],)
@@ -123,45 +193,98 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     return Tensor._make(out_data, (x,), backward)
 
 
-def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(
+    x: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
     """Mean of rows per segment; empty segments yield zero rows."""
+    x = as_tensor(x)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
-    counts = np.maximum(counts, 1.0)
-    summed = segment_sum(x, segment_ids, num_segments)
+    dtype = x.data.dtype
+    if plan is not None:
+        inv_counts = plan.inverse_counts(dtype).ravel()
+    else:
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(dtype)
+        inv_counts = 1.0 / np.maximum(counts, 1.0)
+    summed = segment_sum(x, segment_ids, num_segments, plan)
     shape = (num_segments, *([1] * (summed.ndim - 1)))
-    return summed * Tensor(1.0 / counts.reshape(shape))
+    return summed * Tensor(inv_counts.reshape(shape))
 
 
-def _segment_max_data(data: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
-    out = np.full((num_segments, *data.shape[1:]), -np.inf, dtype=np.float64)
+def _segment_max_data(
+    data: np.ndarray,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> np.ndarray:
+    if plans_enabled():
+        if plan is None:
+            plan = SegmentPlan.build(segment_ids, num_segments)
+        return plan.segment_max(data)
+    out = np.full((num_segments, *data.shape[1:]), -np.inf, dtype=data.dtype)
     np.maximum.at(out, segment_ids, data)
     out[~np.isfinite(out)] = 0.0  # empty segments
     return out
 
 
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(
+    scores: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: SegmentPlan | None = None,
+) -> Tensor:
     """Softmax of *scores* within each segment.
 
     Used for attention: scores are per-edge logits and segments group the
     incoming edges of each destination node.  Numerically stabilised by
     subtracting the (detached) per-segment maximum, which does not change
-    either the value or the gradient of softmax.
+    either the value or the gradient of softmax.  The denominator guard is
+    ``finfo(dtype).tiny`` — a fixed ``1e-300`` would flush to zero under a
+    float32 compute policy.
+
+    With plans enabled this is a *fused* kernel: one autodiff node whose
+    backward is the closed-form softmax gradient
+    ``alpha * (grad - segsum(alpha * grad))``, instead of the historical
+    chain of shift/exp/sum/clip/div nodes.  Values and gradients match the
+    composite form to roundoff (same math, reassociated).
     """
     scores = as_tensor(scores)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    max_per_segment = _segment_max_data(scores.data, segment_ids, num_segments)
+    if plan is not None:
+        plan.check(segment_ids, num_segments)
+    if plans_enabled():
+        if plan is None:
+            plan = SegmentPlan.build(segment_ids, num_segments)
+        fused_plan = plan
+        max_per_segment = fused_plan.segment_max(scores.data)
+        exp_scores = np.exp(scores.data - max_per_segment[segment_ids])
+        denom = fused_plan.scatter_add(exp_scores)
+        np.maximum(denom, np.finfo(scores.data.dtype).tiny, out=denom)
+        alpha = exp_scores / denom[segment_ids]
+
+        def backward(grad: np.ndarray):
+            weighted = fused_plan.scatter_add(alpha * grad)
+            return (alpha * (grad - weighted[segment_ids]),)
+
+        return Tensor._make(alpha, (scores,), backward)
+    # Legacy composite path (the pre-plan-engine computation order).
+    max_per_segment = _segment_max_data(
+        scores.data, segment_ids, num_segments, plan
+    )
     shifted = scores - Tensor(max_per_segment[segment_ids])
     exp_scores = shifted.exp()
-    denom = segment_sum(exp_scores, segment_ids, num_segments)
-    denom = denom.clip_min(1e-300)
-    return exp_scores / gather_rows(denom, segment_ids)
+    denom = segment_sum(exp_scores, segment_ids, num_segments, plan)
+    denom = denom.clip_min(float(np.finfo(scores.data.dtype).tiny))
+    return exp_scores / gather_rows(denom, segment_ids, plan)
 
 
 def scatter_rows(
     pieces: Sequence[Tensor],
     indices: Sequence[np.ndarray],
     num_rows: int,
+    plans: Sequence[SegmentPlan | None] | None = None,
 ) -> Tensor:
     """Assemble a ``(num_rows, F)`` matrix from row blocks at given indices.
 
@@ -169,17 +292,35 @@ def scatter_rows(
     embeddings into the global node matrix (Algorithm 1, lines 1-2).  Index
     sets must be disjoint; overlapping rows are summed (and gradients flow
     to every contributor), which is never triggered by the graph builder.
+    *plans* may carry one :class:`SegmentPlan` per piece (or ``None``
+    entries) for the scatter schedule.
     """
     pieces = [as_tensor(p) for p in pieces]
     if not pieces:
         raise ShapeError("scatter_rows() requires at least one piece")
+    if plans is None:
+        plans = [None] * len(pieces)
     width = pieces[0].data.shape[1]
-    out_data = np.zeros((num_rows, width), dtype=np.float64)
+    dtype = pieces[0].data.dtype
     index_arrays = [np.asarray(ix, dtype=np.int64) for ix in indices]
     for piece, index in zip(pieces, index_arrays):
         if piece.data.shape[0] != len(index):
             raise ShapeError("scatter_rows piece/index length mismatch")
-        np.add.at(out_data, index, piece.data)
+    if plans_enabled():
+        out_data = np.zeros((num_rows, width), dtype=dtype)
+        for piece, index, plan in zip(pieces, index_arrays, plans):
+            if plan is not None:
+                plan.check(index, num_rows)
+            if plan is not None and plan.counts.max(initial=0) <= 1:
+                # unique indices: buffered fancy-index add is safe and
+                # avoids the (num_rows, F) temporary of the general path
+                out_data[index] += piece.data
+            else:
+                out_data += _scatter_add(index, piece.data, num_rows, plan)
+    else:
+        out_data = np.zeros((num_rows, width), dtype=dtype)
+        for piece, index in zip(pieces, index_arrays):
+            np.add.at(out_data, index, piece.data)
 
     def backward(grad: np.ndarray):
         return tuple(grad[index] for index in index_arrays)
@@ -200,5 +341,5 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = T
         return as_tensor(x)
     x = as_tensor(x)
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
     return x * Tensor(mask)

@@ -55,7 +55,7 @@ class Optimizer:
                     key = f"{slot_name}.{i}"
                     if key not in state:
                         raise KeyError(f"missing optimizer state {key!r}")
-                    incoming = np.asarray(state[key], dtype=np.float64)
+                    incoming = np.asarray(state[key], dtype=array.dtype)
                     if incoming.shape != array.shape:
                         raise ValueError(
                             f"shape mismatch for optimizer state {key!r}: "

@@ -1,4 +1,10 @@
-"""Save/load model parameters to ``.npz`` files."""
+"""Save/load model parameters to ``.npz`` files.
+
+Archives are always written in float64 — a lossless upcast from a float32
+training run — so saved models are portable across precision policies.
+Loading casts into the active compute dtype
+(:func:`repro.nn.precision.get_compute_dtype`).
+"""
 
 from __future__ import annotations
 
@@ -10,8 +16,12 @@ from repro.nn.module import Module
 
 
 def save_module(module: Module, path: str | os.PathLike) -> None:
-    """Write a module's parameters to an ``.npz`` archive."""
-    np.savez(path, **module.state_dict())
+    """Write a module's parameters to an ``.npz`` archive (float64)."""
+    state = {
+        name: value.astype(np.float64, copy=False)
+        for name, value in module.state_dict().items()
+    }
+    np.savez(path, **state)
 
 
 def load_module(module: Module, path: str | os.PathLike) -> Module:

@@ -12,8 +12,9 @@ The engine intentionally mirrors a very small subset of PyTorch semantics:
 * operations build a computation graph,
 * ``loss.backward()`` populates ``.grad`` on every leaf that requires it.
 
-Arrays are kept in ``float64``; at the model sizes used by this
-reproduction that is fast enough and makes gradient checks tight.
+Arrays are kept in the compute dtype of :mod:`repro.nn.precision` —
+``float64`` by default, which makes gradient checks tight; training may
+opt into ``float32`` for memory-bandwidth savings.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.nn import precision
 
 ArrayLike = "np.ndarray | float | int | list | tuple | Tensor"
 
@@ -70,7 +72,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value) -> np.ndarray:
-    array = np.asarray(value, dtype=np.float64)
+    array = np.asarray(value, dtype=precision.get_compute_dtype())
     return array
 
 
@@ -80,7 +82,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 ``numpy.ndarray``.
+        Anything convertible to a ``numpy.ndarray`` of the active compute
+        dtype (:func:`repro.nn.precision.get_compute_dtype`).
     requires_grad:
         When True, ``backward()`` accumulates into ``self.grad``.
     """
@@ -147,7 +150,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad = self.grad + grad
 
@@ -163,7 +166,7 @@ class Tensor:
                     "backward() without an explicit gradient requires a scalar"
                 )
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -370,7 +373,7 @@ class Tensor:
 
     def clip_min(self, minimum: float) -> "Tensor":
         """Elementwise ``max(self, minimum)`` (used for safe norms)."""
-        mask = (self.data >= minimum).astype(np.float64)
+        mask = (self.data >= minimum).astype(self.data.dtype)
         out_data = np.maximum(self.data, minimum)
 
         def backward(grad: np.ndarray):
