@@ -44,6 +44,16 @@ Subcommands::
         Print the per-stage time/memory summary of a trace written with
         ``--trace`` or ``--obs-jsonl``.
 
+    python -m repro check [paths...] [--rules r1,r2] [--shapes/--no-shapes]
+                          [--baseline FILE] [--no-baseline]
+                          [--update-baseline] [--format json] [--verbose]
+                          [--list-rules]
+        Run the repo-aware static checks: the AST lint rules over
+        ``src/repro`` (or explicit file paths) plus the symbolic
+        shape/dtype contract checker over every shipped model config.
+        Exit 0 when clean, 1 when there are new findings, 2 on usage or
+        configuration errors.
+
 Every subcommand additionally accepts ``--trace out.json`` (write a Chrome
 ``trace_event`` file loadable in Perfetto / chrome://tracing) and
 ``--obs-jsonl out.jsonl`` (append span/metric events as JSON lines); both
@@ -234,6 +244,74 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.errors import StaticCheckError
+    from repro.staticcheck import (
+        render_json,
+        render_text,
+        rule_names,
+        run_lint,
+        run_shapes,
+    )
+    from repro.staticcheck.baseline import write_baseline
+    from repro.staticcheck.runner import CheckResult, default_baseline_path
+
+    if args.list_rules:
+        from repro.staticcheck import all_rules
+
+        for rule in all_rules():
+            print(f"{rule.name:18s} [{rule.severity.value}] {rule.description}")
+        print(f"{'shape-contract':18s} [error] symbolic shape/dtype "
+              "propagation over shipped model configs")
+        return 0
+
+    selected = (
+        [name.strip() for name in args.rules.split(",") if name.strip()]
+        if args.rules
+        else None
+    )
+    paths = args.paths or None
+    try:
+        result = run_lint(
+            paths=paths,
+            rule_names=selected,
+            baseline_path=args.baseline,
+            use_baseline=not args.no_baseline,
+        )
+    except StaticCheckError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        from repro.staticcheck.baseline import Baseline
+
+        if paths is not None:
+            print(
+                "repro check: --update-baseline requires a full-repo run "
+                "(no explicit paths)",
+                file=sys.stderr,
+            )
+            return 2
+        target = args.baseline or default_baseline_path()
+        write_baseline(target, Baseline.from_findings(result.findings))
+        kept = sum(1 for f in result.findings if not f.suppressed)
+        print(f"wrote {kept} finding(s) to {target}")
+        return 0
+
+    if args.shapes and selected is None:
+        try:
+            result = result.merge(run_shapes())
+        except StaticCheckError as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok() else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis import experiments as exp
 
@@ -371,6 +449,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_check = sub.add_parser(
+        "check", help="run the static lint rules and shape-contract checker"
+    )
+    p_check.add_argument("paths", nargs="*",
+                         help="specific files to lint (default: all of "
+                              "src/repro)")
+    p_check.add_argument("--rules", default=None, metavar="R1,R2",
+                         help="comma-separated lint rule names (implies "
+                              "--no-shapes); see --list-rules")
+    p_check.add_argument("--shapes", dest="shapes", action="store_true",
+                         default=True,
+                         help="run the symbolic shape/dtype checker (default)")
+    p_check.add_argument("--no-shapes", dest="shapes", action="store_false",
+                         help="skip the shape/dtype checker")
+    p_check.add_argument("--baseline", default=None, metavar="FILE",
+                         help="baseline file (default: "
+                              "<repo>/staticcheck-baseline.json)")
+    p_check.add_argument("--no-baseline", action="store_true",
+                         help="report grandfathered findings too")
+    p_check.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline from the current findings")
+    p_check.add_argument("--format", choices=["text", "json"], default="text")
+    p_check.add_argument("--verbose", action="store_true",
+                         help="also list suppressed and baselined findings")
+    p_check.add_argument("--list-rules", action="store_true",
+                         help="print the rule catalogue and exit")
+    p_check.set_defaults(func=_cmd_check)
 
     p_obs = sub.add_parser("obs", help="inspect observability output")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)

@@ -60,10 +60,13 @@ def combine_with_sources(
         raise ModelError("ensemble needs at least one model")
     if list(max_vs) != sorted(max_vs):
         raise ModelError("ensemble models must be sorted by ascending max_v")
+    # staticcheck: ignore[precision-policy] -- Algorithm 2 compares absolute
+    # capacitances in farads; range selection stays float64 regardless of
+    # the training precision of the member models
     combined = np.array(predictions[0], dtype=np.float64, copy=True)
     sources = np.zeros(combined.shape, dtype=np.int64)
     for i in range(1, len(predictions)):
-        candidate = np.asarray(predictions[i], dtype=np.float64)
+        candidate = np.asarray(predictions[i], dtype=np.float64)  # staticcheck: ignore[precision-policy]
         replace = candidate > max_vs[i - 1]
         combined[replace] = candidate[replace]
         sources[replace] = i

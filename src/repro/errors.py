@@ -83,3 +83,14 @@ class ServeOverloadedError(ServeError):
 
 class ServeTimeoutError(ServeError):
     """Raised when a queued request exceeds its per-request timeout."""
+
+
+class StaticCheckError(ReproError):
+    """Raised for static-analysis configuration failures (bad baseline,
+    unknown rule name, unparseable target file)."""
+
+
+class ShapeContractError(StaticCheckError):
+    """Raised when the symbolic shape checker cannot interpret a model
+    (unknown layer type, malformed spec) — distinct from a shape *finding*,
+    which is reported, not raised."""

@@ -441,8 +441,10 @@ def save_checkpoint(
     }
     for name, value in optimizer.state_dict().items():
         payload[f"opt/{name}"] = value
+    # staticcheck: ignore[precision-policy] -- checkpoints are
+    # float64-canonical on disk regardless of the training precision
     payload["history/losses"] = np.asarray(losses, dtype=np.float64)
-    payload["history/grad_norms"] = np.asarray(grad_norms, dtype=np.float64)
+    payload["history/grad_norms"] = np.asarray(grad_norms, dtype=np.float64)  # staticcheck: ignore[precision-policy]
     payload["ckpt_meta"] = np.array(
         json.dumps({"epoch": epoch, "attempt": attempt, **(meta or {})})
     )

@@ -68,6 +68,8 @@ def _build_graph(circuit: Circuit, validate: bool) -> HeteroGraph:
 
     for node_type, members in type_members.items():
         graph.nodes_of_type[node_type] = np.asarray(members, dtype=np.int64)
+        # staticcheck: ignore[precision-policy] -- raw features are stored
+        # float64-canonical; the model casts at the encoder boundary
         feats = np.asarray(type_features[node_type], dtype=np.float64)
         expected = feature_dim(node_type)
         if feats.shape[1] != expected:

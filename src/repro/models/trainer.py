@@ -476,7 +476,7 @@ class TargetPredictor:
             type_cols.append(np.full(len(src), edge_type, dtype=object))
             src_cols.append(names[src])
             dst_cols.append(names[dst])
-            alpha_cols.append(np.asarray(alpha, dtype=np.float64))
+            alpha_cols.append(np.asarray(alpha, dtype=np.float64))  # staticcheck: ignore[precision-policy] -- report output, not compute
         types = np.concatenate(type_cols)
         srcs = np.concatenate(src_cols)
         dsts = np.concatenate(dst_cols)
@@ -533,7 +533,7 @@ class TargetPredictor:
         # weights are stored in float64 regardless of the training dtype so
         # artifacts stay portable across precision policies
         payload: dict[str, np.ndarray] = {
-            f"param/{name}": value.astype(np.float64, copy=False)
+            f"param/{name}": value.astype(np.float64, copy=False)  # staticcheck: ignore[precision-policy]
             for name, value in model.state_dict().items()
         }
         fc_layers = (

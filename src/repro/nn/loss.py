@@ -6,8 +6,6 @@ ablations and diagnostics.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import ShapeError
 from repro.nn.tensor import Tensor, as_tensor
 
@@ -39,7 +37,7 @@ def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
     pred, target = _check(pred, target)
     diff = (pred - target).abs()
     quadratic = diff.clip_min(0.0)  # diff is already non-negative
-    small = Tensor((diff.data <= delta).astype(np.float64))
+    small = Tensor((diff.data <= delta).astype(diff.data.dtype))
     large = Tensor(1.0) - small
     loss = small * (quadratic * quadratic * 0.5) + large * (diff * delta - 0.5 * delta**2)
     return loss.mean()

@@ -70,6 +70,8 @@ def _scatter_add(
     """Sum rows of *values* into *num_rows* buckets selected by *index*."""
     if not plans_enabled():
         out = np.zeros((num_rows, *values.shape[1:]), dtype=values.dtype)
+        # staticcheck: ignore[autodiff-bypass] -- the legacy (plans
+        # disabled) scatter kernel; forward-only, wrapped by the op tape
         np.add.at(out, index, values)
         return out
     if plan is None:
@@ -224,6 +226,7 @@ def _segment_max_data(
             plan = SegmentPlan.build(segment_ids, num_segments)
         return plan.segment_max(data)
     out = np.full((num_segments, *data.shape[1:]), -np.inf, dtype=data.dtype)
+    # staticcheck: ignore[autodiff-bypass] -- legacy segment-max kernel
     np.maximum.at(out, segment_ids, data)
     out[~np.isfinite(out)] = 0.0  # empty segments
     return out
@@ -320,6 +323,7 @@ def scatter_rows(
     else:
         out_data = np.zeros((num_rows, width), dtype=dtype)
         for piece, index in zip(pieces, index_arrays):
+            # staticcheck: ignore[autodiff-bypass] -- legacy scatter path
             np.add.at(out_data, index, piece.data)
 
     def backward(grad: np.ndarray):

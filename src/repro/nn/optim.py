@@ -44,7 +44,7 @@ class Optimizer:
                 for i, array in enumerate(slot):
                     state[f"{slot_name}.{i}"] = np.array(array, copy=True)
             else:
-                state[slot_name] = np.asarray(slot, dtype=np.float64)
+                state[slot_name] = np.asarray(slot, dtype=np.float64)  # staticcheck: ignore[precision-policy] -- optimizer state is float64-canonical on disk
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:

@@ -120,7 +120,7 @@ class _ActiveSpan:
             self.span_id = tracer._next_id
             tracer._next_id += 1
         stack.append(self)
-        self._wall = time.time()
+        self._wall = time.time()  # staticcheck: ignore[determinism] -- span timestamps are intentionally wall-clock
         self._mem0 = (
             tracemalloc.get_traced_memory()[0] if tracer._memory else None
         )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -85,9 +86,19 @@ class RegistryEntry:
 
 @dataclass
 class ModelRegistry:
-    """Named collection of warm-loaded models the engine serves from."""
+    """Named collection of warm-loaded models the engine serves from.
+
+    Registration can race with lookups from HTTP handler threads, so the
+    entry map is guarded by an RLock (reentrant: ``load`` -> ``register``
+    and ``get`` from within ``entries`` iterate under the same lock).
+    Lock order: the registry lock is a leaf — never call out to engine or
+    adapter code while holding it (see docs/architecture.md).
+    """
 
     _entries: dict[str, RegistryEntry] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def register(
@@ -105,8 +116,8 @@ class ModelRegistry:
         """
         from repro.api.adapters import make_adapter
 
-        if name in self._entries:
-            raise ApiError(f"model {name!r} is already registered")
+        # Build the entry before taking the lock: adapter construction and
+        # artifact hashing are slow, and the lock stays a leaf.
         adapter = make_adapter(model)
         if version is None:
             version = artifact_version(path) if path is not None else "unsaved"
@@ -119,7 +130,10 @@ class ModelRegistry:
             adapter=adapter,
             path=os.fspath(path) if path is not None else None,
         )
-        self._entries[name] = entry
+        with self._lock:
+            if name in self._entries:
+                raise ApiError(f"model {name!r} is already registered")
+            self._entries[name] = entry
         obs.inc("serve.models_registered_total")
         return entry
 
@@ -172,28 +186,33 @@ class ModelRegistry:
         The default is the single registered model, or the entry literally
         named ``"default"`` when several are registered.
         """
-        if name is None:
-            if len(self._entries) == 1:
-                return next(iter(self._entries.values()))
-            if "default" in self._entries:
-                return self._entries["default"]
-            raise ApiError(
-                "no model name given and no default among "
-                f"{sorted(self._entries)}"
-            )
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise ApiError(
-                f"unknown model {name!r}; registered: {sorted(self._entries)}"
-            ) from None
+        with self._lock:
+            if name is None:
+                if len(self._entries) == 1:
+                    return next(iter(self._entries.values()))
+                if "default" in self._entries:
+                    return self._entries["default"]
+                raise ApiError(
+                    "no model name given and no default among "
+                    f"{sorted(self._entries)}"
+                )
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise ApiError(
+                    f"unknown model {name!r}; registered: "
+                    f"{sorted(self._entries)}"
+                ) from None
 
     def names(self) -> tuple[str, ...]:
-        return tuple(sorted(self._entries))
+        with self._lock:
+            return tuple(sorted(self._entries))
 
     def entries(self) -> Iterator[RegistryEntry]:
-        for name in sorted(self._entries):
-            yield self._entries[name]
+        # Snapshot under the lock; never yield while holding it.
+        with self._lock:
+            snapshot = [self._entries[name] for name in sorted(self._entries)]
+        yield from snapshot
 
     def describe(self) -> list[dict]:
         """JSON-ready summary rows (the ``/healthz`` model inventory)."""
@@ -209,13 +228,16 @@ class ModelRegistry:
         ]
 
     def __contains__(self, name: str) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __bool__(self) -> bool:
-        return bool(self._entries)
+        with self._lock:
+            return bool(self._entries)
 
 
 def _entry_name(basename: str) -> str:

@@ -1,0 +1,86 @@
+"""``repro.staticcheck`` — repo-aware static analysis.
+
+Two complementary layers guard the invariants the runtime stack depends
+on (see ``docs/static-analysis.md``):
+
+* an AST **lint engine** (:mod:`repro.staticcheck.engine`) running
+  repo-specific rules — autodiff-bypass, precision-policy, determinism,
+  concurrency, api-surface — with per-line ``# staticcheck: ignore[rule]``
+  pragmas and a committed baseline for grandfathered findings, and
+* a **symbolic shape/dtype checker** (:mod:`repro.staticcheck.shapes`)
+  that abstract-interprets the ``repro.nn`` model graphs with symbolic
+  node/edge dims, catching wiring mismatches in encoder/conv/readout
+  stacks before any training step runs.
+
+Both are wired into ``repro check`` (CLI) and the ``static-analysis`` CI
+job.  Exports resolve lazily (PEP 562) so importing :mod:`repro` never
+pays for the checker.
+"""
+
+from typing import Any
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "ModuleContext",
+    "LintEngine",
+    "all_rules",
+    "rule_names",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+    "CheckResult",
+    "run_lint",
+    "run_shapes",
+    "iter_source_files",
+    "repo_root",
+    "render_text",
+    "render_json",
+    "check_regressor",
+    "check_model_config",
+    "check_all_shipped",
+    "shipped_configs",
+    "SymDim",
+    "SymTensor",
+]
+
+_EXPORTS = {
+    "Finding": "repro.staticcheck.findings",
+    "Severity": "repro.staticcheck.findings",
+    "Rule": "repro.staticcheck.engine",
+    "ModuleContext": "repro.staticcheck.engine",
+    "LintEngine": "repro.staticcheck.engine",
+    "all_rules": "repro.staticcheck.rules",
+    "rule_names": "repro.staticcheck.rules",
+    "Baseline": "repro.staticcheck.baseline",
+    "load_baseline": "repro.staticcheck.baseline",
+    "write_baseline": "repro.staticcheck.baseline",
+    "CheckResult": "repro.staticcheck.runner",
+    "run_lint": "repro.staticcheck.runner",
+    "run_shapes": "repro.staticcheck.runner",
+    "iter_source_files": "repro.staticcheck.runner",
+    "repo_root": "repro.staticcheck.runner",
+    "render_text": "repro.staticcheck.reporters",
+    "render_json": "repro.staticcheck.reporters",
+    "check_regressor": "repro.staticcheck.shapes",
+    "check_model_config": "repro.staticcheck.shapes",
+    "check_all_shipped": "repro.staticcheck.shapes",
+    "shipped_configs": "repro.staticcheck.shapes",
+    "SymDim": "repro.staticcheck.shapes",
+    "SymTensor": "repro.staticcheck.shapes",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,137 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the checker be introduced into a codebase with existing
+findings without a big-bang cleanup: known findings are recorded by
+fingerprint (rule + path + normalised source snippet, so they survive
+line-number drift) and ``repro check`` only fails on findings *not* in the
+file.  Shrink it over time; ``repro check --update-baseline`` rewrites it
+from the current findings and drops entries that no longer fire.
+
+Format (``staticcheck-baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"fingerprint": "...", "rule": "...", "path": "...",
+         "count": 2, "snippet": "..."}
+      ]
+    }
+
+``count`` carries multiplicity: two identical lines in one file need two
+baseline slots, so a *new* third occurrence still fails.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import StaticCheckError
+from repro.staticcheck.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "staticcheck-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed occurrence count."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    #: metadata rows for serialisation, keyed by fingerprint
+    meta: dict[str, dict] = field(default_factory=dict)
+    path: str | None = None
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def apply(self, findings: "list[Finding]") -> "list[Finding]":
+        """Mark findings covered by the baseline (first-come within budget)."""
+        budget = collections.Counter(self.counts)
+        out: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if not finding.suppressed and budget[fp] > 0:
+                budget[fp] -= 1
+                out.append(finding.with_flags(baselined=True))
+            else:
+                out.append(finding)
+        return out
+
+    def stale_entries(self, findings: "list[Finding]") -> "list[dict]":
+        """Baseline rows whose finding no longer fires (cleanup candidates)."""
+        live = collections.Counter(f.fingerprint() for f in findings)
+        stale = []
+        for fp, count in sorted(self.counts.items()):
+            unused = count - min(live[fp], count)
+            if unused > 0:
+                row = dict(self.meta.get(fp, {"fingerprint": fp}))
+                row["count"] = unused
+                stale.append(row)
+        return stale
+
+    @classmethod
+    def from_findings(cls, findings: "list[Finding]") -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            fp = finding.fingerprint()
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+            baseline.meta.setdefault(
+                fp,
+                {
+                    "fingerprint": fp,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "snippet": finding.snippet,
+                },
+            )
+        return baseline
+
+
+def load_baseline(path: "str | os.PathLike") -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return Baseline(path=path)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StaticCheckError(f"unreadable baseline {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise StaticCheckError(f"{path!r} is not a staticcheck baseline")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise StaticCheckError(
+            f"baseline {path!r} has version {version!r}; "
+            f"this checker reads version {BASELINE_VERSION}"
+        )
+    baseline = Baseline(path=path)
+    for row in payload["findings"]:
+        fp = row.get("fingerprint")
+        if not isinstance(fp, str) or not fp:
+            raise StaticCheckError(f"baseline {path!r} has a row without a fingerprint")
+        count = int(row.get("count", 1))
+        baseline.counts[fp] = baseline.counts.get(fp, 0) + count
+        baseline.meta.setdefault(fp, {k: v for k, v in row.items() if k != "count"})
+    return baseline
+
+
+def write_baseline(path: "str | os.PathLike", baseline: Baseline) -> str:
+    """Serialise a baseline deterministically (sorted by path, then rule)."""
+    rows = []
+    for fp, count in baseline.counts.items():
+        row = dict(baseline.meta.get(fp, {"fingerprint": fp}))
+        row["count"] = count
+        rows.append(row)
+    rows.sort(key=lambda r: (r.get("path", ""), r.get("rule", ""), r["fingerprint"]))
+    payload = {"version": BASELINE_VERSION, "findings": rows}
+    path = os.fspath(path)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

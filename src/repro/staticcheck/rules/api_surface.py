@@ -1,0 +1,179 @@
+"""``api-surface``: ``__all__`` drift vs definitions and lazy exports.
+
+The curated packages export through ``__all__`` plus (for the lazy ones)
+a PEP 562 ``_EXPORTS``-style table driving ``__getattr__``.  The two can
+silently drift: a name listed in ``__all__`` that nothing defines raises
+``AttributeError`` only when someone finally imports it, and a lazy-table
+entry missing from ``__all__`` hides a supported export from
+``from pkg import *`` and ``dir()``.  This rule checks, for every module
+that declares ``__all__``:
+
+* each ``__all__`` name resolves — to a top-level binding (def / class /
+  import / assignment) or a key of the lazy-export table;
+* each lazy-export key appears in ``__all__``;
+* ``__all__`` holds no duplicates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.staticcheck.engine import ModuleContext, Rule, assigned_names
+from repro.staticcheck.findings import Finding
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (descending into if/try blocks)."""
+    names: set[str] = set()
+
+    def scan(body: list) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    names.update(assigned_names(target))
+            elif isinstance(node, ast.AnnAssign):
+                names.update(assigned_names(node.target))
+            elif isinstance(node, ast.If):
+                scan(node.body)
+                scan(node.orelse)
+            elif isinstance(node, ast.Try):
+                scan(node.body)
+                scan(node.orelse)
+                scan(node.finalbody)
+                for handler in node.handlers:
+                    scan(handler.body)
+
+    scan(tree.body)
+    return names
+
+
+def _string_list(node: ast.AST) -> "list[str] | None":
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: list[str] = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        out.append(elt.value)
+    return out
+
+
+def _lazy_table(tree: ast.Module) -> "tuple[str, list[str]] | None":
+    """(table name, keys) of the dict ``__getattr__`` subscripts, if any."""
+    getattr_def = next(
+        (
+            node
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef) and node.name == "__getattr__"
+        ),
+        None,
+    )
+    if getattr_def is None:
+        return None
+    subscripted: set[str] = set()
+    for node in ast.walk(getattr_def):
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            subscripted.add(node.value.id)
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in subscripted
+                and isinstance(node.value, ast.Dict)
+            ):
+                keys = [
+                    key.value
+                    for key in node.value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                ]
+                return target.id, keys
+    return None
+
+
+class ApiSurfaceRule(Rule):
+    name = "api-surface"
+    description = (
+        "__all__ drift: unresolvable exports, lazy-export (PEP 562) table "
+        "keys missing from __all__, duplicate entries"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        all_node: ast.AST | None = None
+        all_names: list[str] | None = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                all_node = node
+                all_names = _string_list(node.value)
+        if all_node is None:
+            return
+        if all_names is None:
+            yield self.finding(
+                ctx,
+                all_node,
+                "__all__ is not a literal list of strings; the api-surface "
+                "contract cannot be checked",
+            )
+            return
+        yield from self._check_all(ctx, all_node, all_names)
+
+    def _check_all(
+        self, ctx: ModuleContext, all_node: ast.AST, all_names: list[str]
+    ) -> Iterator[Finding]:
+        seen: set[str] = set()
+        for name in all_names:
+            if name in seen:
+                yield self.finding(
+                    ctx, all_node, f"duplicate __all__ entry {name!r}"
+                )
+            seen.add(name)
+
+        bindings = _top_level_bindings(ctx.tree)
+        lazy = _lazy_table(ctx.tree)
+        lazy_keys = set(lazy[1]) if lazy else set()
+        for name in all_names:
+            if name not in bindings and name not in lazy_keys:
+                where = (
+                    f"neither defined at top level nor a key of {lazy[0]}"
+                    if lazy
+                    else "not defined at top level"
+                )
+                yield self.finding(
+                    ctx,
+                    all_node,
+                    f"__all__ exports {name!r} but it is {where}; importing "
+                    "it would raise AttributeError",
+                )
+        if lazy:
+            table_name, keys = lazy
+            key_seen: set[str] = set()
+            for key in keys:
+                if key in key_seen:
+                    yield self.finding(
+                        ctx,
+                        all_node,
+                        f"duplicate key {key!r} in lazy-export table "
+                        f"{table_name}",
+                    )
+                key_seen.add(key)
+            for key in keys:
+                if key not in seen:
+                    yield self.finding(
+                        ctx,
+                        all_node,
+                        f"lazy export {key!r} ({table_name}) is missing "
+                        "from __all__; star-imports and dir() will not "
+                        "see it",
+                    )

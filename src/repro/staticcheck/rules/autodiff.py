@@ -1,0 +1,87 @@
+"""``autodiff-bypass``: raw numpy mutation of autodiff state.
+
+Gradients only flow through operations recorded on the tape; code that
+mutates ``Tensor.data`` in place, or scatters with ``np.add.at`` /
+``ufunc.at`` outside the kernel plan, silently produces wrong gradients
+(and loses the SegmentPlan speedup).  Only the engine itself —
+``nn/plan.py`` (the kernel schedules), ``nn/tensor.py`` (the Tensor),
+``nn/module.py`` (state-dict loading) and ``nn/optim.py`` (in-place
+parameter updates are the *definition* of an optimizer step) — may do
+either; everything else must go through ``repro.nn.ops``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.staticcheck.engine import ModuleContext, Rule, dotted_name
+from repro.staticcheck.findings import Finding
+
+#: Engine modules where in-place mutation is the implementation.
+ALLOWED_MODULES = (
+    "nn/plan.py",
+    "nn/tensor.py",
+    "nn/module.py",
+    "nn/optim.py",
+)
+
+
+def _mutates_data(target: ast.AST) -> bool:
+    """True for ``x.data = ...``, ``x.data[i] = ...`` style targets."""
+    if isinstance(target, ast.Attribute) and target.attr == "data":
+        return True
+    if isinstance(target, ast.Subscript):
+        value = target.value
+        return isinstance(value, ast.Attribute) and value.attr == "data"
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return any(_mutates_data(elt) for elt in target.elts)
+    return False
+
+
+class AutodiffBypassRule(Rule):
+    name = "autodiff-bypass"
+    description = (
+        "in-place mutation of Tensor.data or np.*.at scatter outside the "
+        "autodiff engine (repro/nn/{plan,tensor,module,optim}.py)"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.is_any(*ALLOWED_MODULES):
+            return
+        yield from self._check(ctx)
+
+    def _check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name.endswith(".at")
+                    and name.count(".") == 2
+                    and name.split(".", 1)[0] in ("np", "numpy")
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() bypasses the autodiff tape and the "
+                        "SegmentPlan kernels; use repro.nn.ops segment "
+                        "operations (or a SegmentPlan) instead",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _mutates_data(target):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "direct assignment to Tensor.data bypasses the "
+                            "autodiff tape; build a new Tensor through "
+                            "repro.nn.ops instead",
+                        )
+                        break
+            elif isinstance(node, ast.AugAssign) and _mutates_data(node.target):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "in-place arithmetic on Tensor.data bypasses the "
+                    "autodiff tape; use Tensor operations instead",
+                )

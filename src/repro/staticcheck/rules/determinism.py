@@ -1,0 +1,127 @@
+"""``determinism``: unseeded randomness and wall-clock reads in library code.
+
+Every stochastic component must draw from a named substream of
+:mod:`repro.rng` (``rng: np.random.Generator`` threaded through the call
+chain), so builds are bit-for-bit reproducible.  Flags:
+
+* ``np.random.default_rng()`` with no (or ``None``) seed,
+* the legacy global-state numpy RNG (``np.random.random`` & friends,
+  ``np.random.seed``),
+* the stdlib ``random`` module,
+* ``time.time()`` — wall-clock reads make outputs run-dependent; use
+  ``time.perf_counter()`` for durations.  Observability timestamps are
+  intentionally wall-clock and carry a pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.staticcheck.engine import ModuleContext, Rule, dotted_name
+from repro.staticcheck.findings import Finding
+
+#: Global-state numpy RNG entry points (np.random.<name>).
+GLOBAL_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "choice",
+        "uniform",
+        "normal",
+        "shuffle",
+        "permutation",
+    }
+)
+
+#: stdlib random entry points worth calling out by name.
+STDLIB_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "seed",
+        "betavariate",
+        "expovariate",
+        "normalvariate",
+    }
+)
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    if node.args and not (
+        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    ):
+        return False
+    if any(kw.arg == "seed" and not (
+        isinstance(kw.value, ast.Constant) and kw.value.value is None
+    ) for kw in node.keywords):
+        return False
+    return True
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "unseeded np.random.default_rng()/global RNG/stdlib random/"
+        "time.time() in library code; thread rng via repro.rng instead"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        yield from self._check(ctx)
+
+    def _check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        uses_stdlib_random = any(
+            isinstance(node, ast.Import)
+            and any(alias.name == "random" for alias in node.names)
+            for node in ast.walk(ctx.tree)
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in ("np.random.default_rng", "numpy.random.default_rng"):
+                if _is_unseeded(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unseeded np.random.default_rng(); derive a seeded "
+                        "generator from repro.rng.stream(master_seed, ...) "
+                        "and thread it as `rng: np.random.Generator`",
+                    )
+            elif name.startswith(("np.random.", "numpy.random.")):
+                leaf = name.rsplit(".", 1)[1]
+                if leaf in GLOBAL_NP_RANDOM:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() uses numpy's global RNG state; thread a "
+                        "seeded np.random.Generator from repro.rng instead",
+                    )
+            elif uses_stdlib_random and name.startswith("random."):
+                leaf = name.split(".", 1)[1]
+                if leaf in STDLIB_RANDOM:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"stdlib {name}() is process-global and unseeded "
+                        "here; use repro.rng.stream(...) instead",
+                    )
+            elif name == "time.time":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "time.time() makes library output depend on the wall "
+                    "clock; use time.perf_counter() for durations (pragma "
+                    "this if a wall-clock timestamp is the point)",
+                )

@@ -1,0 +1,139 @@
+"""File discovery and check orchestration shared by CLI, CI and tests."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.staticcheck.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    load_baseline,
+)
+from repro.staticcheck.engine import LintEngine, Rule
+from repro.staticcheck.findings import Finding, Severity, sort_findings
+from repro.staticcheck.rules import select_rules
+
+
+def repo_root() -> str:
+    """The repository root, derived from the installed package location.
+
+    ``src/repro/staticcheck/runner.py`` -> three parents up.  Works from
+    any working directory, which is what the CLI, pre-commit hook and
+    tests all rely on.
+    """
+    here = os.path.abspath(__file__)
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(here))))
+
+
+def default_baseline_path(root: "str | None" = None) -> str:
+    return os.path.join(root or repo_root(), DEFAULT_BASELINE_NAME)
+
+
+def iter_source_files(
+    root: "str | None" = None, subdir: str = os.path.join("src", "repro")
+) -> list[str]:
+    """Repo-relative (posix) paths of every library module under *subdir*."""
+    root = root or repo_root()
+    base = os.path.join(root, subdir)
+    out: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, filename), root)
+            out.append(rel.replace(os.sep, "/"))
+    return out
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a lint and/or shape run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    stale_baseline: list[dict] = field(default_factory=list)
+
+    def active(self) -> list[Finding]:
+        """Findings that are neither pragma-suppressed nor baselined."""
+        return [f for f in self.findings if not f.suppressed and not f.baselined]
+
+    def new_errors(self) -> list[Finding]:
+        return [f for f in self.active() if f.severity is Severity.ERROR]
+
+    def suppressed_count(self) -> int:
+        return sum(1 for f in self.findings if f.suppressed)
+
+    def baselined_count(self) -> int:
+        return sum(1 for f in self.findings if f.baselined)
+
+    def ok(self) -> bool:
+        return not self.new_errors()
+
+    def merge(self, other: "CheckResult") -> "CheckResult":
+        return CheckResult(
+            findings=sort_findings(self.findings + other.findings),
+            files_checked=self.files_checked + other.files_checked,
+            stale_baseline=self.stale_baseline + other.stale_baseline,
+        )
+
+
+def run_lint(
+    *,
+    root: "str | None" = None,
+    paths: "list[str] | None" = None,
+    rules: "list[Rule] | None" = None,
+    rule_names: "list[str] | None" = None,
+    baseline: "Baseline | None" = None,
+    baseline_path: "str | os.PathLike | None" = None,
+    use_baseline: bool = True,
+) -> CheckResult:
+    """Run the lint rules over the repo (or explicit *paths*).
+
+    *paths* are repo-relative or absolute file paths; directories are not
+    expanded (use :func:`iter_source_files`).  The baseline is loaded
+    from *baseline_path* (default ``<root>/staticcheck-baseline.json``)
+    unless an explicit :class:`Baseline` or ``use_baseline=False`` is
+    given.
+    """
+    root = root or repo_root()
+    engine = LintEngine(rules if rules is not None else select_rules(rule_names))
+    if paths is None:
+        relpaths = iter_source_files(root)
+    else:
+        relpaths = []
+        for path in paths:
+            full = path if os.path.isabs(path) else os.path.join(root, path)
+            rel = os.path.relpath(os.path.abspath(full), root)
+            relpaths.append(rel.replace(os.sep, "/"))
+    findings = engine.check_files(root, relpaths)
+    stale: list[dict] = []
+    if baseline is None and use_baseline:
+        baseline = load_baseline(baseline_path or default_baseline_path(root))
+    if baseline is not None:
+        findings = baseline.apply(findings)
+        # Stale detection only makes sense over a full-repo run; a partial
+        # file list would mark every other file's entries stale.
+        if paths is None:
+            stale = baseline.stale_entries(findings)
+    return CheckResult(
+        findings=findings, files_checked=len(relpaths), stale_baseline=stale
+    )
+
+
+def run_shapes(*, configs: "list | None" = None) -> CheckResult:
+    """Run the symbolic shape/dtype checker over the shipped model configs."""
+    from repro.staticcheck.shapes import check_all_shipped, check_model_config
+
+    if configs is None:
+        findings = check_all_shipped()
+        from repro.staticcheck.shapes import shipped_configs
+
+        count = len(shipped_configs())
+    else:
+        findings = []
+        for config in configs:
+            findings.extend(check_model_config(config))
+        count = len(configs)
+    return CheckResult(findings=sort_findings(findings), files_checked=count)

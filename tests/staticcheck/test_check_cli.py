@@ -1,0 +1,122 @@
+"""`repro check` CLI, runner orchestration and the repo-is-clean gate."""
+
+import json
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck import run_lint
+from repro.staticcheck.runner import iter_source_files, repo_root
+
+
+class TestRunner:
+    def test_iter_source_files_finds_library(self):
+        files = iter_source_files()
+        assert "src/repro/cli.py" in files
+        assert "src/repro/staticcheck/engine.py" in files
+        assert all(f.endswith(".py") for f in files)
+
+    def test_explicit_paths_subset(self):
+        result = run_lint(paths=["src/repro/nn/loss.py"])
+        assert result.files_checked == 1
+
+
+class TestRepoIsClean:
+    """The acceptance gate: zero non-baselined findings on the repo."""
+
+    def test_lint_is_clean_with_baseline(self):
+        result = run_lint()
+        assert result.new_errors() == [], "\n".join(
+            f"{f.location()}: [{f.rule}] {f.message}" for f in result.new_errors()
+        )
+
+    def test_baseline_has_no_stale_entries(self):
+        result = run_lint()
+        assert result.stale_baseline == []
+
+    def test_shape_contracts_hold_for_all_shipped_configs(self):
+        from repro.staticcheck import run_shapes
+
+        result = run_shapes()
+        assert result.findings == []
+        assert result.files_checked >= 20  # 5 convs x fc x dtype + ablations
+
+
+class TestCheckCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["check", "--no-shapes"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new error(s)" in out
+
+    def test_seeded_violation_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert main(["check", "--no-shapes", str(bad)]) == 1
+        assert "determinism" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["check", "--no-shapes", "--format", "json",
+                     "src/repro/nn/loss.py"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["files_checked"] == 1
+
+    def test_rules_filter(self, capsys):
+        code = main(["check", "--rules", "determinism",
+                     "src/repro/models/gbdt.py", "--no-baseline"])
+        assert code == 0  # gbdt's findings are precision-policy only
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["check", "--rules", "bogus"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_update_baseline_requires_full_run(self, tmp_path, capsys):
+        assert main(["check", "--update-baseline",
+                     "src/repro/nn/loss.py"]) == 2
+
+    def test_update_baseline_round_trip(self, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "baseline.json"
+        assert main(["check", "--update-baseline",
+                     "--baseline", str(target)]) == 0
+        assert target.exists()
+        # the fresh baseline makes a --baseline run clean
+        assert main(["check", "--no-shapes",
+                     "--baseline", str(target)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("autodiff-bypass", "precision-policy", "determinism",
+                     "concurrency", "api-surface", "shape-contract"):
+            assert name in out
+
+
+class TestCISeededViolation:
+    """What the CI `static-analysis` job relies on: a regression is caught."""
+
+    def test_new_unlocked_state_in_serve_fails(self, tmp_path):
+        root = tmp_path / "repo"
+        (root / "src" / "repro" / "serve").mkdir(parents=True)
+        bad = root / "src" / "repro" / "serve" / "cache.py"
+        bad.write_text(
+            "CACHE = {}\n"
+            "def put(key, value):\n"
+            "    CACHE[key] = value\n"
+        )
+        result = run_lint(root=str(root))
+        assert [f.rule for f in result.new_errors()] == ["concurrency"]
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+class TestMypy:
+    def test_mypy_config_parses_and_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--version"],
+            capture_output=True, text=True, cwd=repo_root(),
+        )
+        assert proc.returncode == 0
