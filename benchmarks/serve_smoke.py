@@ -1,0 +1,127 @@
+"""CI smoke check for the multi-process serving pool.
+
+Boots a 2-worker :class:`~repro.serve.pool.ServerPool` over a freshly
+trained tiny model, replays a fixed number of canned requests from a few
+client threads, and fails (non-zero exit) if **any** response is not 2xx
+or any worker dies.  The parent's ``repro.obs`` metrics snapshot is
+written as a JSONL artifact for upload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py \
+        [--workers 2] [--requests 200] [--threads 4] \
+        [--out obs-artifacts/serve-smoke-obs.jsonl]
+
+Exit codes: 0 = all requests 2xx; 1 = request failures or a worker death;
+2 = the pool failed to start.
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import urllib.request
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--out", default="serve-smoke-obs.jsonl",
+                        help="obs JSONL artifact path")
+    args = parser.parse_args(argv)
+
+    from repro import obs
+    from repro.circuits.spice import write_spice
+    from repro.data import build_bundle
+    from repro.models import TargetPredictor, TrainConfig
+    from repro.serve.pool import PoolConfig, ServerPool
+
+    obs.enable()
+    with obs.span("serve_smoke.train"):
+        bundle = build_bundle(seed=0, scale=0.05)
+        predictor = TargetPredictor(
+            "paragraph",
+            "CAP",
+            TrainConfig(epochs=2, embed_dim=8, num_layers=2, run_seed=0),
+        ).fit(bundle)
+    body = json.dumps(
+        {
+            "netlist": write_spice(bundle.records("test")[0].circuit),
+            "model": "CAP",
+        }
+    ).encode()
+
+    config = PoolConfig(workers=args.workers, port=0, drain_timeout_s=10.0)
+    try:
+        pool = ServerPool({"CAP": predictor}, config=config).start()
+    except Exception as error:  # noqa: BLE001 - smoke boundary
+        print(f"serve-smoke: pool failed to start: {error!r}")
+        return 2
+
+    failures: list = []
+    statuses: dict = {}
+    lock = threading.Lock()
+    remaining = list(range(args.requests))
+
+    def client():
+        while True:
+            with lock:
+                if not remaining:
+                    return
+                remaining.pop()
+            try:
+                request = urllib.request.Request(
+                    pool.url + "/predict",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=30.0) as response:
+                    response.read()
+                    status = response.status
+            except urllib.error.HTTPError as error:
+                status = error.code
+            except Exception as error:  # noqa: BLE001 - recorded below
+                with lock:
+                    failures.append(repr(error))
+                continue
+            with lock:
+                statuses[status] = statuses.get(status, 0) + 1
+                if not 200 <= status < 300:
+                    failures.append(status)
+
+    try:
+        with obs.span("serve_smoke.replay"):
+            threads = [
+                threading.Thread(target=client) for _ in range(args.threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        dead = pool.poll(respawn=False)
+        if dead:
+            failures.append(f"workers died: {dead}")
+    finally:
+        pool.stop()
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        obs.export_jsonl(args.out)
+        obs.disable()
+
+    total = sum(statuses.values())
+    print(
+        f"serve-smoke: {total}/{args.requests} responses "
+        f"({args.workers} workers), statuses={statuses}, "
+        f"failures={len(failures)}, obs -> {args.out}"
+    )
+    if failures or total != args.requests:
+        for failure in failures[:10]:
+            print(f"  failure: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

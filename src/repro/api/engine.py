@@ -75,7 +75,13 @@ class Engine:
 
         self.config = config or EngineConfig()
         self.registry = _coerce_registry(models)
-        self.cache = cache or GraphCache(max_entries=self.config.cache_size)
+        # explicit None test: a freshly injected cache is empty and an
+        # empty GraphCache is falsy through __len__
+        self.cache = (
+            cache
+            if cache is not None
+            else GraphCache(max_entries=self.config.cache_size)
+        )
         self._executor: BatchExecutor | None = None
         self._executor_lock = threading.Lock()
 
@@ -150,6 +156,13 @@ class Engine:
                 "hit_rate": self.cache.hit_rate(),
                 "entries": len(self.cache),
                 "max_entries": self.cache.max_entries,
+                "max_bytes": self.cache.max_bytes,
+                "bytes": self.cache.current_bytes(),
+                **(
+                    {"shard": self.cache.describe_shard()}
+                    if hasattr(self.cache, "describe_shard")
+                    else {}
+                ),
             },
             "executor": {
                 "started": executor is not None,
@@ -376,13 +389,16 @@ def create_engine(
     queue_depth: int = 128,
     workers: int = 2,
     timeout_s: float | None = None,
+    cache=None,
 ) -> Engine:
     """One-call engine construction.
 
     *models* may be a saved-model directory/path (discovered and
     warm-loaded), a ``{name: model}`` mapping, a
     :class:`~repro.serve.registry.ModelRegistry`, or a single model object
-    (registered as ``"default"``).
+    (registered as ``"default"``).  A pre-built
+    :class:`~repro.serve.cache.GraphCache` (e.g. the pool's sharded
+    variant) may be injected via *cache*; it wins over *cache_size*.
     """
     return Engine(
         models,
@@ -393,6 +409,7 @@ def create_engine(
             workers=workers,
             timeout_s=timeout_s,
         ),
+        cache=cache,
     )
 
 

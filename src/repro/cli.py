@@ -215,7 +215,39 @@ def _serve_build(args: argparse.Namespace):
     return engine, server
 
 
+def _cmd_serve_pool(args: argparse.Namespace) -> int:
+    """``repro serve --procs N``: pre-fork worker pool on one port."""
+    from repro.serve.pool import PoolConfig, ServerPool
+
+    config = PoolConfig(
+        workers=args.procs,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        threads=args.workers,
+        timeout_s=args.timeout_s,
+        quiet=not args.verbose,
+    )
+    with ServerPool(args.models, config=config) as pool:
+        names = ", ".join(pool.registry.names())
+        print(
+            f"serving {len(pool.registry)} model(s) [{names}] at {pool.url} "
+            f"across {args.procs} workers ({pool.strategy})"
+        )
+        print("endpoints: POST /predict, GET /healthz, GET /metrics")
+        print("signals: SIGHUP reloads changed artifacts, SIGTERM drains")
+        try:
+            pool.run_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.procs > 1:
+        return _cmd_serve_pool(args)
     engine, server = _serve_build(args)
     names = ", ".join(engine.registry.names())
     print(f"serving {len(engine.registry)} model(s) [{names}] at {server.url}")
@@ -427,7 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8080,
                          help="TCP port (0 binds an ephemeral port)")
     p_serve.add_argument("--workers", type=int, default=2,
-                         help="micro-batching executor threads")
+                         help="micro-batching executor threads per process")
+    p_serve.add_argument("--procs", type=int, default=1,
+                         help="worker processes; >1 forks a shared-memory "
+                              "pool behind one port")
     p_serve.add_argument("--max-batch", type=int, default=16,
                          help="max requests merged into one forward pass")
     p_serve.add_argument("--queue-depth", type=int, default=128,

@@ -89,6 +89,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (q in [0, 1]).
+
+        Resolution is limited by the bucket bounds: the estimate
+        interpolates linearly within the bucket holding the q-th
+        observation and is clamped to the observed min/max.  NaN when
+        empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if not self.count:
+            return math.nan
+        rank = q * self.count
+        seen = 0
+        previous_bound = None
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            if bucket_count and seen + bucket_count >= rank:
+                if not math.isfinite(bound):  # +inf backstop bucket
+                    return self.max
+                lower = (
+                    self.min if previous_bound is None else previous_bound
+                )
+                fraction = (rank - seen) / bucket_count
+                estimate = lower + fraction * (bound - lower)
+                return min(self.max, max(self.min, estimate))
+            seen += bucket_count
+            previous_bound = bound
+        return self.max  # pragma: no cover - rank beyond counted items
+
 
 class MetricsRegistry:
     """Create-on-first-use store of named metrics."""
@@ -159,6 +188,9 @@ class MetricsRegistry:
                     mean=metric.mean,
                     min=metric.min if metric.count else None,
                     max=metric.max if metric.count else None,
+                    p50=metric.quantile(0.50) if metric.count else None,
+                    p95=metric.quantile(0.95) if metric.count else None,
+                    p99=metric.quantile(0.99) if metric.count else None,
                     buckets=[
                         [b if math.isfinite(b) else None, c]
                         for b, c in zip(metric.buckets, metric.counts)

@@ -146,15 +146,23 @@ class BatchExecutor:
             self._process(group)
 
     def _process(self, group: list[_Item]) -> None:
+        # Expired items are dropped *before* batching, and every resolution
+        # is gated through set_running_or_notify_cancel: it is the single
+        # pending->running transition, so an item can never be resolved
+        # twice (no InvalidStateError under load) and a caller-cancelled
+        # future is simply skipped.  serve.timeouts_total counts only items
+        # whose future we actually failed with ServeTimeoutError.
         now = time.monotonic()
         live: list[_Item] = []
         for item in group:
+            if not item.future.set_running_or_notify_cancel():
+                continue  # cancelled by the caller; nothing left to resolve
             if item.deadline is not None and now > item.deadline:
                 obs.inc("serve.timeouts_total")
                 item.future.set_exception(
                     ServeTimeoutError("request timed out while queued")
                 )
-            elif item.future.set_running_or_notify_cancel():
+            else:
                 live.append(item)
         if not live:
             return

@@ -19,6 +19,7 @@ client — including :mod:`urllib.request` — can drive it.
 from __future__ import annotations
 
 import json
+import socket as socket_module
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,6 +32,7 @@ from repro.errors import (
     GraphConstructionError,
     NetlistError,
     ReproError,
+    ServeError,
     ServeOverloadedError,
     ServeTimeoutError,
 )
@@ -65,6 +67,7 @@ class _Handler(BaseHTTPRequestHandler):
     engine: "Engine" = None  # type: ignore[assignment]
     started_at: float = 0.0
     quiet: bool = True
+    worker_id: int | None = None  # pool worker index, for fan-out visibility
 
     protocol_version = "HTTP/1.1"
 
@@ -78,6 +81,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.worker_id is not None:
+            self.send_header("X-Worker", str(self.worker_id))
         for name, value in headers.items():
             self.send_header(name.replace("_", "-"), str(value))
         self.end_headers()
@@ -147,6 +152,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, error)
         except ReproError as error:  # pragma: no cover - defensive
             self._send_error_json(500, error)
+        except Exception as error:  # pragma: no cover - defensive
+            # never let an unexpected bug close the connection with no
+            # response (stdlib would print a traceback and drop the socket)
+            self._send_error_json(500, error)
 
 
 class PredictionServer:
@@ -155,6 +164,19 @@ class PredictionServer:
     ``port=0`` binds an ephemeral port (the resolved one is on
     :attr:`port` / :attr:`url`).  Use :meth:`start` for a daemon-thread
     server in tests, or :meth:`serve_forever` to block (the CLI path).
+
+    A pre-bound listening socket can be injected via ``socket`` — the pool
+    workers pass their SO_REUSEPORT / inherited listeners this way — in
+    which case host/port are taken from the socket and the server never
+    binds.  ``daemon_threads=False`` makes :meth:`shutdown` join in-flight
+    handler threads, which is how a draining pool worker guarantees zero
+    failed in-flight requests.
+
+    Lifecycle: :meth:`shutdown` is idempotent, returns promptly even when
+    the serve loop was never entered (a bare ``BaseServer.shutdown`` would
+    block forever on its never-set event), and always closes the listening
+    socket — repeated start/stop cycles on a fixed port therefore never
+    hit ``EADDRINUSE``.  A shut-down server cannot be restarted.
     """
 
     def __init__(
@@ -163,16 +185,39 @@ class PredictionServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         quiet: bool = True,
+        *,
+        socket: "socket_module.socket | None" = None,
+        worker_id: int | None = None,
+        daemon_threads: bool = True,
     ):
         self.engine = engine
         handler = type(
             "BoundHandler",
             (_Handler,),
-            {"engine": engine, "started_at": time.monotonic(), "quiet": quiet},
+            {
+                "engine": engine,
+                "started_at": time.monotonic(),
+                "quiet": quiet,
+                "worker_id": worker_id,
+            },
         )
-        self._server = ThreadingHTTPServer((host, port), handler)
-        self._server.daemon_threads = True
+        if socket is None:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        else:
+            # adopt the caller's listener: construct unbound, then graft
+            self._server = ThreadingHTTPServer(
+                socket.getsockname(), handler, bind_and_activate=False
+            )
+            self._server.socket.close()  # the placeholder from __init__
+            self._server.socket = socket
+            self._server.server_address = socket.getsockname()
+            self._server.server_name = self._server.server_address[0]
+            self._server.server_port = self._server.server_address[1]
+        self._server.daemon_threads = daemon_threads
+        self._server.block_on_close = not daemon_threads
         self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._state = "new"  # new -> serving -> closed
 
     @property
     def host(self) -> str:
@@ -186,8 +231,15 @@ class PredictionServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    def _enter_serving(self) -> None:
+        with self._lock:
+            if self._state == "closed":
+                raise ServeError("server has been shut down; build a new one")
+            self._state = "serving"
+
     def start(self) -> "PredictionServer":
         """Serve from a daemon thread; returns self once listening."""
+        self._enter_serving()
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._server.serve_forever, daemon=True
@@ -197,11 +249,21 @@ class PredictionServer:
 
     def serve_forever(self) -> None:
         """Block and serve until interrupted (the ``repro serve`` path)."""
+        self._enter_serving()
         self._server.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
-        self._server.shutdown()
+        """Stop serving, release the socket, drain the engine (idempotent)."""
+        with self._lock:
+            state, self._state = self._state, "closed"
+        if state == "closed":
+            return
+        if state == "serving":
+            # legal from any thread: serve_forever polls the request flag,
+            # so this returns once the loop (running here or elsewhere)
+            # exits.  Never call it for state "new" — the loop was never
+            # entered and BaseServer.shutdown would wait forever.
+            self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)

@@ -1,0 +1,621 @@
+"""Pre-fork worker pool: multi-process serving behind one port.
+
+One Python process cannot serve heavy traffic — the GIL caps it no
+matter how fast the kernels get — so the deployment unit is a
+:class:`ServerPool`: N forked worker processes, each running the full
+:class:`~repro.serve.http.PredictionServer` stack over the **same**
+weight bytes.
+
+Architecture (see ``docs/serving.md``):
+
+* **Listeners** — with ``SO_REUSEPORT`` (Linux/BSD) every worker owns its
+  own listening socket bound to the same address and the kernel spreads
+  accepts across them; elsewhere the parent binds once pre-fork and every
+  worker accepts on the inherited listener.
+* **Weights** — the parent warm-loads the :class:`ModelRegistry` once,
+  publishes every parameter into one shared-memory segment
+  (:mod:`repro.serve.shm`) and adopts the read-only views *before*
+  forking, so workers inherit the mapping and per-worker incremental RSS
+  excludes the model entirely.
+* **Cache sharding** — circuit content-hashes are placed on a consistent
+  hash ring (:class:`HashRing`); each worker's LRU
+  :class:`~repro.serve.cache.GraphCache` only admits fingerprints it
+  owns (:class:`ShardedGraphCache`), so N workers partition the cache
+  keyspace instead of holding N copies.
+* **Drain / reload** — SIGTERM makes a worker stop accepting, finish
+  in-flight requests, flush its :class:`BatchExecutor` and exit;
+  :meth:`ServerPool.reload` detects artifact version bumps, publishes a
+  new weight generation, starts replacement workers and only then
+  retires the old ones (zero dropped requests).
+
+Everything is stdlib: ``os.fork``, ``socket``, ``signal``,
+``multiprocessing.shared_memory``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro import obs
+from repro.errors import ServeError
+from repro.serve.cache import GraphCache
+from repro.serve.registry import artifact_version
+from repro.serve.shm import (
+    PublishedArrays,
+    adopt_weight_arrays,
+    publish_registry_weights,
+)
+
+#: Seconds a draining worker gets before SIGKILL.
+DEFAULT_DRAIN_TIMEOUT_S = 15.0
+#: Seconds to wait for a forked worker's readiness handshake.
+READY_TIMEOUT_S = 60.0
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash sharding
+# ----------------------------------------------------------------------
+class HashRing:
+    """Consistent hashing of content-hash keys onto worker shards.
+
+    Each shard owns ``replicas`` virtual points on a 64-bit ring; a key
+    belongs to the first point clockwise from its own hash.  Adding or
+    removing one shard moves only ~1/N of the keyspace, so a rolling
+    resize does not invalidate every worker's cache at once.
+    """
+
+    def __init__(self, shards: int, *, replicas: int = 64):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("need at least one replica per shard")
+        self.shards = shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append((self._hash(f"shard-{shard}-{replica}"), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(key.encode()).digest()[:8], "big"
+        )
+
+    def shard_for(self, key: str) -> int:
+        """Owning shard index for a key (a circuit fingerprint)."""
+        index = bisect.bisect_right(self._points, self._hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+
+class ShardedGraphCache(GraphCache):
+    """A :class:`GraphCache` that only admits fingerprints its shard owns.
+
+    Foreign-shard circuits are still *served* (the graph is built, used
+    and discarded) — the admission veto just keeps each worker's LRU a
+    disjoint slice of the keyspace, so the pool's aggregate cache is N
+    partitions rather than N replicas.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        shards: int,
+        *,
+        max_entries: int = 256,
+        max_bytes: int | None = None,
+        ring: HashRing | None = None,
+    ):
+        super().__init__(max_entries=max_entries, max_bytes=max_bytes)
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} outside 0..{shards - 1}")
+        self.shard = shard
+        self.ring = ring or HashRing(shards)
+        self.foreign = 0  # lookups for fingerprints another shard owns
+
+    def admits(self, fingerprint: str) -> bool:
+        owned = self.ring.shard_for(fingerprint) == self.shard
+        if not owned:
+            # plain int increment: GIL-atomic, stats-only
+            self.foreign += 1
+            obs.inc("serve.shard_foreign_total")
+        return owned
+
+    def describe_shard(self) -> dict:
+        """JSON-ready shard identity for ``/metrics``."""
+        return {
+            "shard": self.shard,
+            "shards": self.ring.shards,
+            "foreign_lookups": self.foreign,
+        }
+
+
+# ----------------------------------------------------------------------
+# Pool configuration / worker bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoolConfig:
+    """Sizing and behaviour knobs for a :class:`ServerPool`."""
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: "auto" | "reuseport" | "inherit"
+    strategy: str = "auto"
+    #: per-worker engine sizing (threads = BatchExecutor workers)
+    cache_size: int = 256
+    cache_bytes: int | None = None
+    max_batch: int = 16
+    queue_depth: int = 128
+    threads: int = 2
+    timeout_s: float | None = None
+    shard_cache: bool = True
+    ring_replicas: int = 64
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
+    quiet: bool = True
+
+
+@dataclass
+class WorkerInfo:
+    """Parent-side record of one live worker process."""
+
+    index: int
+    pid: int
+    generation: int
+    listener: socket.socket | None = None  # reuseport: this worker's socket
+
+
+def _resolve_strategy(strategy: str) -> str:
+    if strategy == "auto":
+        return "reuseport" if hasattr(socket, "SO_REUSEPORT") else "inherit"
+    if strategy not in ("reuseport", "inherit"):
+        raise ServeError(f"unknown listener strategy {strategy!r}")
+    if strategy == "reuseport" and not hasattr(socket, "SO_REUSEPORT"):
+        raise ServeError("SO_REUSEPORT is not available on this platform")
+    return strategy
+
+
+def _make_listener(host: str, port: int, *, reuseport: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _reset_inherited_locks(registry) -> None:
+    """Replace locks a forked child inherited possibly mid-acquire.
+
+    The parent may fork while *other* threads (test harness, telemetry)
+    hold the obs or registry locks; those threads do not exist in the
+    child, so an inherited held lock would deadlock forever.  Fresh locks
+    are safe here: the child is single-threaded at this point.
+    """
+    obs.registry()._lock = threading.Lock()
+    obs.tracer()._lock = threading.Lock()
+    registry._lock = threading.RLock()
+
+
+# ----------------------------------------------------------------------
+# Worker (child) side
+# ----------------------------------------------------------------------
+def _child_main(
+    index: int,
+    config: PoolConfig,
+    registry,
+    listener: socket.socket,
+    ready_fd: int,
+    generation: int,
+) -> "None":  # never returns: always os._exit
+    status = 0
+    try:
+        from repro.api.engine import Engine, EngineConfig
+        from repro.serve.http import PredictionServer
+
+        _reset_inherited_locks(registry)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
+        term_early = {"hit": False}
+        signal.signal(
+            signal.SIGTERM, lambda *_: term_early.__setitem__("hit", True)
+        )
+
+        if config.shard_cache and config.workers > 1:
+            cache: GraphCache = ShardedGraphCache(
+                index,
+                config.workers,
+                max_entries=config.cache_size,
+                max_bytes=config.cache_bytes,
+                ring=HashRing(config.workers, replicas=config.ring_replicas),
+            )
+        else:
+            cache = GraphCache(
+                max_entries=config.cache_size, max_bytes=config.cache_bytes
+            )
+        engine = Engine(
+            registry,
+            config=EngineConfig(
+                cache_size=config.cache_size,
+                max_batch=config.max_batch,
+                queue_depth=config.queue_depth,
+                workers=config.threads,
+                timeout_s=config.timeout_s,
+            ),
+            cache=cache,
+        )
+        server = PredictionServer(
+            engine,
+            socket=listener,
+            worker_id=index,
+            daemon_threads=False,  # drain joins in-flight handlers
+            quiet=config.quiet,
+        )
+
+        def _drain(signum, frame):
+            # Runs on the main thread mid-serve loop: hand the (blocking)
+            # stop request to a helper thread; serve_forever then returns
+            # and the epilogue below finishes in-flight work and exits.
+            threading.Thread(
+                target=server._server.shutdown, daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _drain)
+        os.write(ready_fd, f"ready {server.port} gen {generation}\n".encode())
+        os.close(ready_fd)
+        if not term_early["hit"]:
+            server.serve_forever()
+        # Drain epilogue: stop accepting (already done), join in-flight
+        # handler threads, flush the BatchExecutor queue, release sockets.
+        server.shutdown()
+    except BaseException:
+        status = 1
+        try:  # pragma: no cover - crash reporting only
+            import traceback
+
+            traceback.print_exc()
+        except Exception:
+            pass
+    finally:
+        os._exit(status)
+
+
+# ----------------------------------------------------------------------
+# Pool (parent) side
+# ----------------------------------------------------------------------
+class ServerPool:
+    """Supervisor for N forked prediction-server workers.
+
+    ``models`` is anything :func:`repro.api.create_engine` accepts (a
+    saved-model directory, a registry, a mapping, one model).  The parent
+    never serves traffic itself; it owns the shared weight segment, the
+    listener strategy and the worker lifecycle.
+    """
+
+    def __init__(self, models, *, config: PoolConfig | None = None):
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            raise ServeError("ServerPool needs os.fork (POSIX only)")
+        self.config = config or PoolConfig()
+        if self.config.workers < 1:
+            raise ServeError("ServerPool needs at least one worker")
+        self._models = models
+        self.registry = None  # parent's warm copy, populated by start()
+        self.generation = 0
+        self._published: PublishedArrays | None = None
+        self._strategy = _resolve_strategy(self.config.strategy)
+        self._shared_listener: socket.socket | None = None  # inherit mode
+        self._port: int | None = None
+        self._workers: list[WorkerInfo] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    # -- properties ----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise ServeError("pool is not started")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    def workers(self) -> list[WorkerInfo]:
+        with self._lock:
+            return list(self._workers)
+
+    def pids(self) -> list[int]:
+        return [worker.pid for worker in self.workers()]
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ServerPool":
+        """Load models, publish weights, bind listeners, fork workers."""
+        if self._started:
+            return self
+        from repro.api.engine import _coerce_registry
+
+        self.registry = _coerce_registry(self._models)
+        self._published = publish_registry_weights(
+            self.registry, generation=self.generation
+        )
+        adopt_weight_arrays(self.registry, self._published.arrays)
+
+        if self._strategy == "inherit":
+            self._shared_listener = _make_listener(
+                self.config.host, self.config.port, reuseport=False
+            )
+            self._port = self._shared_listener.getsockname()[1]
+        else:
+            # resolve an ephemeral port once; every worker rebinds it
+            probe = _make_listener(
+                self.config.host, self.config.port, reuseport=True
+            )
+            self._port = probe.getsockname()[1]
+            self._first_listener: socket.socket | None = probe
+
+        self._started = True
+        for index in range(self.config.workers):
+            self._spawn(index, self.generation)
+        obs.set_gauge("serve.pool_workers", len(self._workers))
+        return self
+
+    def _next_listener(self) -> tuple[socket.socket, bool]:
+        """(listener, parent_closes_after_fork) for the next worker."""
+        if self._strategy == "inherit":
+            assert self._shared_listener is not None
+            return self._shared_listener, False
+        first = getattr(self, "_first_listener", None)
+        if first is not None:
+            self._first_listener = None
+            return first, True
+        return (
+            _make_listener(self.config.host, self.port, reuseport=True),
+            True,
+        )
+
+    def _spawn(self, index: int, generation: int) -> WorkerInfo:
+        listener, close_after_fork = self._next_listener()
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # -- child ------------------------------------------------
+            os.close(read_fd)
+            _child_main(
+                index, self.config, self.registry, listener, write_fd,
+                generation,
+            )
+            os._exit(1)  # pragma: no cover - _child_main never returns
+        # -- parent ---------------------------------------------------
+        os.close(write_fd)
+        try:
+            self._await_ready(read_fd, pid, index)
+        finally:
+            os.close(read_fd)
+        info = WorkerInfo(
+            index=index,
+            pid=pid,
+            generation=generation,
+            listener=listener if close_after_fork else None,
+        )
+        if close_after_fork:
+            # the child owns its copy; the parent's would only leak
+            listener.close()
+            info.listener = None
+        with self._lock:
+            self._workers.append(info)
+        obs.inc("serve.pool_workers_spawned_total")
+        return info
+
+    def _await_ready(self, read_fd: int, pid: int, index: int) -> None:
+        deadline = time.monotonic() + READY_TIMEOUT_S
+        buffer = b""
+        with selectors.DefaultSelector() as selector:
+            selector.register(read_fd, selectors.EVENT_READ)
+            while b"\n" not in buffer:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not selector.select(remaining):
+                    os.kill(pid, signal.SIGKILL)
+                    raise ServeError(
+                        f"worker {index} (pid {pid}) not ready within "
+                        f"{READY_TIMEOUT_S:.0f}s"
+                    )
+                chunk = os.read(read_fd, 256)
+                if not chunk:  # EOF: the child died before reporting
+                    raise ServeError(
+                        f"worker {index} (pid {pid}) exited during startup"
+                    )
+                buffer += chunk
+        if not buffer.startswith(b"ready "):
+            raise ServeError(
+                f"worker {index} (pid {pid}) sent bad handshake {buffer!r}"
+            )
+
+    # -- supervision ---------------------------------------------------
+    def poll(self, *, respawn: bool = True) -> list[int]:
+        """Reap exited workers; respawn replacements unless draining.
+
+        Returns the indices of workers that were found dead.
+        """
+        dead: list[WorkerInfo] = []
+        with self._lock:
+            for worker in list(self._workers):
+                try:
+                    done, _status = os.waitpid(worker.pid, os.WNOHANG)
+                except ChildProcessError:  # reaped elsewhere
+                    done = worker.pid
+                if done:
+                    self._workers.remove(worker)
+                    dead.append(worker)
+        for worker in dead:
+            obs.inc("serve.pool_workers_died_total")
+            if respawn and not self._stopped:
+                self._spawn(worker.index, self.generation)
+        obs.set_gauge("serve.pool_workers", len(self.workers()))
+        return [worker.index for worker in dead]
+
+    def stale(self) -> bool:
+        """True when any registered artifact changed on disk."""
+        if self.registry is None:
+            return False
+        for entry in self.registry.entries():
+            if entry.path is not None and os.path.exists(entry.path):
+                if artifact_version(entry.path) != entry.version:
+                    return True
+        return False
+
+    def reload(self, *, force: bool = False) -> bool:
+        """Roll the pool onto freshly loaded artifacts.
+
+        No-op (returns False) when nothing changed and ``force`` is not
+        set.  Otherwise: load a new registry, publish a new weight
+        generation, start replacement workers, then SIGTERM-drain the old
+        generation and unlink its segment.  Old and new workers overlap
+        briefly, so the pool never stops answering.
+        """
+        if not self._started or self._stopped:
+            raise ServeError("pool is not running")
+        if not force and not self.stale():
+            return False
+        from repro.api.engine import _coerce_registry
+
+        old_workers = self.workers()
+        old_published = self._published
+        self.generation += 1
+        self.registry = _coerce_registry(self._models)
+        self._published = publish_registry_weights(
+            self.registry, generation=self.generation
+        )
+        adopt_weight_arrays(self.registry, self._published.arrays)
+        for index in range(self.config.workers):
+            self._spawn(index, self.generation)
+        self._retire(old_workers)
+        if old_published is not None:
+            old_published.unlink()
+        obs.inc("serve.pool_reloads_total")
+        obs.set_gauge("serve.pool_workers", len(self.workers()))
+        return True
+
+    def _retire(self, workers: list[WorkerInfo]) -> None:
+        """SIGTERM-drain the given workers; SIGKILL stragglers."""
+        for worker in workers:
+            try:
+                os.kill(worker.pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        pending = list(workers)
+        while pending and time.monotonic() < deadline:
+            for worker in list(pending):
+                try:
+                    done, _status = os.waitpid(worker.pid, os.WNOHANG)
+                except ChildProcessError:
+                    done = worker.pid
+                if done:
+                    pending.remove(worker)
+            if pending:
+                time.sleep(0.02)
+        for worker in pending:  # pragma: no cover - drain-timeout path
+            try:
+                os.kill(worker.pid, signal.SIGKILL)
+                os.waitpid(worker.pid, 0)
+            except (ProcessLookupError, ChildProcessError):
+                pass
+        with self._lock:
+            for worker in workers:
+                if worker in self._workers:
+                    self._workers.remove(worker)
+
+    def stop(self) -> None:
+        """Drain every worker and release all pool resources (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._retire(self.workers())
+        if self._shared_listener is not None:
+            self._shared_listener.close()
+            self._shared_listener = None
+        first = getattr(self, "_first_listener", None)
+        if first is not None:
+            first.close()
+            self._first_listener = None
+        if self._published is not None:
+            self._published.unlink()
+            self._published = None
+        obs.set_gauge("serve.pool_workers", 0)
+
+    def __enter__(self) -> "ServerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- blocking supervisor loop (the CLI path) -----------------------
+    def run_forever(self, *, poll_interval_s: float = 0.5) -> None:
+        """Supervise until SIGTERM/SIGINT; SIGHUP triggers a reload check.
+
+        Installs signal handlers, so call it from the main thread only.
+        """
+        flags = {"stop": False, "hup": False}
+        previous = {
+            signal.SIGTERM: signal.signal(
+                signal.SIGTERM, lambda *_: flags.__setitem__("stop", True)
+            ),
+            signal.SIGINT: signal.signal(
+                signal.SIGINT, lambda *_: flags.__setitem__("stop", True)
+            ),
+            signal.SIGHUP: signal.signal(
+                signal.SIGHUP, lambda *_: flags.__setitem__("hup", True)
+            ),
+        }
+        try:
+            while not flags["stop"]:
+                if flags["hup"]:
+                    flags["hup"] = False
+                    self.reload()
+                self.poll()
+                time.sleep(poll_interval_s)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.stop()
+
+
+def create_pool(
+    models,
+    *,
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **knobs,
+) -> ServerPool:
+    """One-call pool construction mirroring :func:`repro.api.create_engine`."""
+    config = PoolConfig(workers=workers, host=host, port=port)
+    if knobs:
+        config = replace(config, **knobs)
+    return ServerPool(models, config=config)

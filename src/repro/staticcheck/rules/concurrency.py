@@ -45,6 +45,13 @@ LOCK_FACTORIES = frozenset(
         "threading.Condition",
         "threading.Semaphore",
         "threading.BoundedSemaphore",
+        # the pre-fork pool (repro.serve.pool) guards parent-side state
+        # that may also be touched around fork with process-safe locks
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+        "multiprocessing.Condition",
+        "multiprocessing.Semaphore",
+        "multiprocessing.BoundedSemaphore",
     }
 )
 

@@ -236,6 +236,30 @@ class TestConstruction:
         assert stats["graph_cache"]["misses"] >= 1
         assert any(row["name"] == "cap" for row in stats["models"])
 
+    def test_injected_cache_is_used_and_reported(self, api_cap_predictor,
+                                                 tiny_bundle):
+        from repro.serve.pool import ShardedGraphCache
+
+        cache = ShardedGraphCache(0, 2, max_entries=8)
+        with create_engine(api_cap_predictor, cache=cache) as eng:
+            assert eng.cache is cache
+            record = tiny_bundle.records("test")[0]
+            eng.predict(record.circuit)
+            stats = eng.stats()["graph_cache"]
+            assert stats["shard"]["shard"] == 0
+            assert stats["shard"]["shards"] == 2
+            assert "bytes" in stats
+
+    def test_cli_procs_flag_defaults_to_single_process(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--models", "x", "--procs", "3"]
+        )
+        assert args.procs == 3
+        default = build_parser().parse_args(["serve", "--models", "x"])
+        assert default.procs == 1
+
 
 class TestCoerceRequest:
     def test_passthrough(self):

@@ -30,18 +30,29 @@ API_SURFACE = [
 ]
 
 SERVE_SURFACE = [
+    "AttachedArrays",
     "BatchExecutor",
     "CachedGraph",
     "GraphCache",
+    "HashRing",
     "ModelRegistry",
+    "PoolConfig",
     "PredictionServer",
+    "PublishedArrays",
     "RegistryEntry",
     "ServeError",
     "ServeOverloadedError",
     "ServeTimeoutError",
+    "ServerPool",
+    "ShardedGraphCache",
+    "adopt_weight_arrays",
     "artifact_version",
+    "attach_arrays",
     "circuit_fingerprint",
+    "create_pool",
     "load_model",
+    "publish_arrays",
+    "publish_registry_weights",
     "request_from_json",
     "scaler_fingerprint",
 ]
@@ -115,7 +126,7 @@ class TestSignatureSnapshot:
     def test_create_engine(self):
         assert self._params(repro.api.create_engine) == [
             "models", "cache_size", "max_batch", "queue_depth",
-            "workers", "timeout_s",
+            "workers", "timeout_s", "cache",
         ]
 
     def test_predict_one(self):

@@ -68,6 +68,54 @@ class TestHistogram:
         assert math.isnan(reg.histogram("unused").mean)
 
 
+class TestQuantiles:
+    def test_quantiles_interpolate_within_buckets(self, reg):
+        buckets = (1.0, 2.0, 4.0, 8.0, math.inf)
+        for v in [0.5, 1.5, 1.6, 1.7, 3.0, 3.5, 5.0, 6.0, 7.0, 7.5]:
+            reg.observe("latency", v, buckets=buckets)
+        hist = reg.histogram("latency", buckets=buckets)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 7.5
+        # the median falls in the (2, 4] bucket
+        assert 2.0 <= hist.quantile(0.5) <= 4.0
+        # high quantiles land in the (4, 8] bucket
+        assert 4.0 <= hist.quantile(0.95) <= 7.5
+
+    def test_quantiles_clamped_to_observed_range(self, reg):
+        buckets = (10.0, 100.0, math.inf)
+        for v in (5.0, 6.0, 7.0):
+            reg.observe("latency", v, buckets=buckets)
+        hist = reg.histogram("latency", buckets=buckets)
+        assert 5.0 <= hist.quantile(0.5) <= 7.0
+
+    def test_backstop_bucket_returns_observed_max(self, reg):
+        buckets = (1.0, math.inf)
+        reg.observe("latency", 0.5, buckets=buckets)
+        reg.observe("latency", 123.0, buckets=buckets)
+        hist = reg.histogram("latency", buckets=buckets)
+        assert hist.quantile(0.99) == 123.0
+
+    def test_empty_histogram_quantile_is_nan(self, reg):
+        assert math.isnan(reg.histogram("unused").quantile(0.5))
+
+    def test_out_of_range_quantile_rejected(self, reg):
+        reg.observe("latency", 1.0)
+        with pytest.raises(ValueError):
+            reg.histogram("latency").quantile(1.5)
+
+    def test_snapshot_rows_carry_percentiles(self, reg):
+        for v in range(1, 101):
+            reg.observe("latency", v / 100.0)
+        (row,) = reg.snapshot()
+        assert row["p50"] <= row["p95"] <= row["p99"] <= row["max"]
+        assert row["p50"] == pytest.approx(0.5, abs=0.2)
+
+    def test_empty_snapshot_percentiles_are_none(self, reg):
+        reg.histogram("unused")
+        (row,) = reg.snapshot()
+        assert row["p50"] is None and row["p95"] is None and row["p99"] is None
+
+
 class TestSnapshot:
     def test_rows_are_json_ready_and_sorted(self, reg):
         reg.inc("b_total")

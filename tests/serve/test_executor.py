@@ -2,6 +2,7 @@
 
 import threading
 import time
+from concurrent.futures import CancelledError
 
 import pytest
 
@@ -177,3 +178,105 @@ class TestLifecycle:
         finally:
             release.set()
             ex.shutdown()
+
+
+class TestExactlyOnceUnderLoad:
+    """Satellite regression: expired/cancelled items must never be resolved
+    twice (the InvalidStateError crash that killed executor workers)."""
+
+    def test_cancelled_items_are_skipped_not_resolved(self):
+        release = threading.Event()
+
+        def blocking(items):
+            release.wait(5.0)
+            return list(items)
+
+        ex = BatchExecutor(blocking, max_batch=4, queue_depth=16, workers=1)
+        try:
+            blocker = ex.submit("blocker")
+            time.sleep(0.05)
+            queued = [ex.submit(i) for i in range(4)]
+            cancelled = [f for f in queued if f.cancel()]
+            assert cancelled  # the worker had not claimed them yet
+            release.set()
+            assert blocker.result(timeout=5.0) == "blocker"
+            for future in queued:
+                if future in cancelled:
+                    assert future.cancelled()
+                else:
+                    assert future.result(timeout=5.0) in range(4)
+        finally:
+            release.set()
+            ex.shutdown()
+
+    def test_stress_past_capacity_resolves_every_future_exactly_once(self):
+        """Many threads push far beyond queue_depth while others cancel and
+        deadlines expire; no worker thread may die of InvalidStateError and
+        accepted - cancelled - timed-out - completed must balance."""
+        from repro import obs
+
+        crashes = []
+        original_hook = threading.excepthook
+        threading.excepthook = lambda args: crashes.append(args)
+        obs.enable()
+        try:
+            obs.reset()
+
+            def jittery(items):
+                time.sleep(0.001)
+                return [i * 2 for i in items]
+
+            ex = BatchExecutor(
+                jittery, max_batch=4, queue_depth=8, workers=2,
+                timeout_s=0.05,
+            )
+            accepted: list = []
+            accepted_lock = threading.Lock()
+            rejected = [0]
+
+            def producer(base):
+                for i in range(60):
+                    try:
+                        future = ex.submit(base + i)
+                    except ServeOverloadedError:
+                        with accepted_lock:
+                            rejected[0] += 1
+                        continue
+                    if (base + i) % 7 == 0:
+                        future.cancel()
+                    with accepted_lock:
+                        accepted.append(future)
+
+            threads = [
+                threading.Thread(target=producer, args=(1000 * t,))
+                for t in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            outcomes = {"ok": 0, "timeout": 0, "cancelled": 0}
+            for future in accepted:
+                try:
+                    result = future.result(timeout=10.0)
+                    assert result % 2 == 0
+                    outcomes["ok"] += 1
+                except ServeTimeoutError:
+                    outcomes["timeout"] += 1
+                except CancelledError:
+                    outcomes["cancelled"] += 1
+            ex.shutdown()
+
+            assert crashes == []  # no InvalidStateError killed a worker
+            assert sum(outcomes.values()) == len(accepted)
+            registry = obs.registry()
+            assert registry.counter(
+                "serve.rejected_total"
+            ).value == rejected[0]
+            assert registry.counter(
+                "serve.timeouts_total"
+            ).value == outcomes["timeout"]
+        finally:
+            threading.excepthook = original_hook
+            obs.disable()
+            obs.reset()

@@ -1,6 +1,7 @@
 """End-to-end HTTP serving with a stdlib-only client (urllib)."""
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -174,3 +175,61 @@ class TestCliServeBuild:
             assert payload["models"][0]["name"] == "CAP"
         finally:
             server.shutdown()
+
+
+class TestLifecycle:
+    """Satellite regression: repeated start/stop on a fixed port must not
+    leak the listening socket (EADDRINUSE) or hang in shutdown."""
+
+    def _engine(self, api_cap_predictor):
+        return create_engine({"CAP": api_cap_predictor}, workers=1)
+
+    def test_restart_on_same_fixed_port(self, api_cap_predictor):
+        first = PredictionServer(self._engine(api_cap_predictor), port=0)
+        first.start()
+        port = first.port
+        _get(first.url + "/healthz")
+        first.shutdown()
+        # the socket was closed, so rebinding the very same port works
+        second = PredictionServer(self._engine(api_cap_predictor), port=port)
+        try:
+            second.start()
+            status, _ = _get(second.url + "/healthz")
+            assert status == 200
+            assert second.port == port
+        finally:
+            second.shutdown()
+
+    def test_shutdown_without_start_returns_promptly(self, api_cap_predictor):
+        server = PredictionServer(self._engine(api_cap_predictor), port=0)
+        started = time.monotonic()
+        server.shutdown()  # must not block on the never-entered serve loop
+        assert time.monotonic() - started < 5.0
+
+    def test_shutdown_is_idempotent(self, api_cap_predictor):
+        server = PredictionServer(self._engine(api_cap_predictor), port=0)
+        server.start()
+        server.shutdown()
+        server.shutdown()
+
+    def test_start_after_shutdown_refused(self, api_cap_predictor):
+        from repro.errors import ServeError
+
+        server = PredictionServer(self._engine(api_cap_predictor), port=0)
+        server.start()
+        server.shutdown()
+        with pytest.raises(ServeError, match="shut down"):
+            server.start()
+
+    def test_worker_id_header(self, api_cap_predictor):
+        with PredictionServer(
+            self._engine(api_cap_predictor), port=0, worker_id=7
+        ) as server:
+            request = urllib.request.Request(server.url + "/healthz")
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                assert response.headers["X-Worker"] == "7"
+
+    def test_no_worker_header_by_default(self, served):
+        request = urllib.request.Request(served.url + "/healthz")
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.headers.get("X-Worker") is None

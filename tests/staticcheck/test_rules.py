@@ -169,6 +169,27 @@ class TestConcurrency:
         )
         assert by_rule(lint(source, "src/repro/api/foo.py"), "concurrency")
 
+    def test_pool_module_is_covered(self):
+        # repro.serve.pool serves forked traffic; the rule must watch it
+        assert by_rule(
+            lint(self.BAD_CLASS, "src/repro/serve/pool.py"), "concurrency"
+        )
+
+    def test_multiprocessing_locks_are_recognised(self):
+        source = (
+            "import multiprocessing\n"
+            "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self._lock = multiprocessing.Lock()\n"
+            "        self._workers = []\n"
+            "    def adopt(self, worker):\n"
+            "        with self._lock:\n"
+            "            self._workers.append(worker)\n"
+        )
+        assert not by_rule(
+            lint(source, "src/repro/serve/pool.py"), "concurrency"
+        )
+
 
 class TestApiSurface:
     def test_flags_unresolvable_export(self):
