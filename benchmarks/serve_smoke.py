@@ -6,6 +6,13 @@ client threads, and fails (non-zero exit) if **any** response is not 2xx
 or any worker dies.  The parent's ``repro.obs`` metrics snapshot is
 written as a JSONL artifact for upload.
 
+The replay is bracketed by two ``/metrics?format=prom`` scrapes, each run
+through the strict exposition validator; the smoke additionally fails when
+fleet counters are non-monotonic across the scrapes, when the scraped
+fleet totals disagree with the sum of the per-worker metrics files under
+``pool.metrics_dir``, or when ``repro obs top --once --json`` does not
+report exactly one row per live worker.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/serve_smoke.py \
@@ -17,11 +24,93 @@ Exit codes: 0 = all requests 2xx; 1 = request failures or a worker death;
 """
 
 import argparse
+import contextlib
+import io
 import json
 import os
 import sys
 import threading
 import urllib.request
+
+
+def scrape_prom(url: str):
+    """Scrape + strictly validate one Prometheus exposition; returns series."""
+    from repro.obs.expo import CONTENT_TYPE, validate_exposition
+
+    with urllib.request.urlopen(
+        url + "/metrics?format=prom", timeout=30.0
+    ) as response:
+        content_type = response.headers.get("Content-Type")
+        text = response.read().decode()
+    if content_type != CONTENT_TYPE:
+        raise AssertionError(
+            f"prom scrape content-type {content_type!r} != {CONTENT_TYPE!r}"
+        )
+    _, series = validate_exposition(text)
+    return series
+
+
+def check_telemetry(pool, before: dict, after: dict, workers: int) -> list:
+    """Fleet-telemetry acceptance checks; returns failure strings."""
+    from repro.cli import main as cli_main
+    from repro.obs.mpmetrics import load_snapshots, merge_snapshots
+
+    problems: list[str] = []
+
+    # counters must be monotonic across the two validated scrapes
+    for key, value in before.items():
+        name = key[0]
+        if not name.endswith(("_total", "_bucket", "_count")):
+            continue
+        later = after.get(key)
+        if later is not None and later < value:
+            problems.append(
+                f"counter went backwards: {key} {value} -> {later}"
+            )
+    if after.get(("repro_serve_requests_total", ()), 0) <= before.get(
+        ("repro_serve_requests_total", ()), 0
+    ):
+        problems.append("repro_serve_requests_total did not advance")
+
+    # fleet merged counters must equal the per-worker sum exactly
+    snaps = load_snapshots(pool.metrics_dir)
+    if len(snaps) != workers:
+        problems.append(
+            f"expected {workers} live metrics files, found {len(snaps)}"
+        )
+    merged = {
+        row["name"]: row for row in merge_snapshots(snaps)
+        if row["kind"] == "counter"
+    }
+    for name, row in merged.items():
+        per_worker = sum(snap.value(name) for snap in snaps)
+        if row["value"] != per_worker:
+            problems.append(
+                f"fleet merge mismatch: {name} merged={row['value']} "
+                f"sum={per_worker}"
+            )
+    total = merged.get("serve.http_responses_total")
+    if total is None or total["value"] <= 0:
+        problems.append("no serve.http_responses_total in the fleet merge")
+
+    # the dashboard must report exactly one row per live worker
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = cli_main(
+            ["obs", "top", "--dir", pool.metrics_dir, "--once", "--json"]
+        )
+    if code != 0:
+        problems.append(f"obs top --once --json exited {code}")
+    else:
+        payload = json.loads(stdout.getvalue())
+        rows = payload["workers"]
+        if len(rows) != workers:
+            problems.append(
+                f"obs top reported {len(rows)} workers, expected {workers}"
+            )
+        if any(not row["alive"] for row in rows):
+            problems.append("obs top reported a dead worker")
+    return problems
 
 
 def main(argv=None) -> int:
@@ -93,6 +182,12 @@ def main(argv=None) -> int:
                     failures.append(status)
 
     try:
+        with obs.span("serve_smoke.scrape_before"):
+            try:
+                before = scrape_prom(pool.url)
+            except Exception as error:  # noqa: BLE001 - recorded below
+                failures.append(f"first prom scrape failed: {error!r}")
+                before = {}
         with obs.span("serve_smoke.replay"):
             threads = [
                 threading.Thread(target=client) for _ in range(args.threads)
@@ -101,6 +196,14 @@ def main(argv=None) -> int:
                 thread.start()
             for thread in threads:
                 thread.join()
+        with obs.span("serve_smoke.scrape_after"):
+            try:
+                after = scrape_prom(pool.url)
+                failures.extend(
+                    check_telemetry(pool, before, after, args.workers)
+                )
+            except Exception as error:  # noqa: BLE001 - recorded below
+                failures.append(f"telemetry checks failed: {error!r}")
         dead = pool.poll(respawn=False)
         if dead:
             failures.append(f"workers died: {dead}")

@@ -139,7 +139,16 @@ class Engine:
             )
             for req in reqs
         ]
-        return [future.result() for future in futures]
+        results = []
+        for future in futures:
+            result = future.result()
+            # queue wait is measured by the executor when a worker claims
+            # the item; surface it on the result's timing breakdown
+            wait = getattr(future, "queue_wait_s", None)
+            if wait is not None and hasattr(result, "timing"):
+                result.timing.queue_s = wait
+            results.append(result)
+        return results
 
     def targets_of(self, model: str | None = None) -> tuple[str, ...]:
         """Targets offered by a registered model (default model if None)."""
@@ -290,6 +299,7 @@ class Engine:
                 results[index] = PredictionResult(
                     circuit=circuit.name,
                     fingerprint=cached.fingerprint,
+                    request_id=req.request_id,
                     targets=predictions,
                     provenance=ModelProvenance(
                         name=entry.name,
@@ -345,6 +355,7 @@ def coerce_request(
                 use_cache=use_cache and source.options.use_cache,
                 timeout_s=source.options.timeout_s,
             ),
+            request_id=source.request_id,
         )
     kwargs = dict(
         targets=tuple(targets) if targets is not None else None,

@@ -74,6 +74,9 @@ class PredictionRequest:
     targets: tuple[str, ...] | None = None
     model: str | None = None
     options: PredictionOptions = field(default_factory=PredictionOptions)
+    #: Trace identity (minted at the HTTP edge, echoed on the result and
+    #: attached to obs spans); None for direct library callers.
+    request_id: str | None = None
 
     def __post_init__(self) -> None:
         sources = [
@@ -126,6 +129,7 @@ class PredictionTiming:
     total_s: float = 0.0
     graph_s: float = 0.0  # build_graph + feature-scaling work (0 on cache hit)
     inference_s: float = 0.0
+    queue_s: float = 0.0  # time spent waiting in the batching queue
     cache_hit: bool = False
     batch_size: int = 1  # >1 when served by a merged-batch forward pass
 
@@ -166,6 +170,7 @@ class PredictionResult:
     targets: dict[str, TargetPrediction]
     provenance: ModelProvenance
     timing: PredictionTiming
+    request_id: str | None = None  # copied from the originating request
 
     def named(self, target: str) -> dict[str, float]:
         """``{net_or_instance: value}`` for one target."""
@@ -195,6 +200,11 @@ class PredictionResult:
         return {
             "circuit": self.circuit,
             "fingerprint": self.fingerprint,
+            **(
+                {"request_id": self.request_id}
+                if self.request_id is not None
+                else {}
+            ),
             "model": {
                 "name": self.provenance.name,
                 "family": self.provenance.family,
@@ -205,6 +215,7 @@ class PredictionResult:
                 "total_s": self.timing.total_s,
                 "graph_s": self.timing.graph_s,
                 "inference_s": self.timing.inference_s,
+                "queue_s": self.timing.queue_s,
                 "cache_hit": self.timing.cache_hit,
                 "batch_size": self.timing.batch_size,
             },

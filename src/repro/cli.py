@@ -209,8 +209,29 @@ def _serve_build(args: argparse.Namespace):
         workers=args.workers,
         timeout_s=args.timeout_s,
     )
+    access_log = None
+    if getattr(args, "access_log", None):
+        from repro.obs.requestlog import AccessLog
+
+        access_log = AccessLog(args.access_log)
+    metrics_dir = getattr(args, "metrics_dir", None)
+    if metrics_dir:
+        # single-process serving still writes a metrics file, so
+        # `repro obs top --dir` works against a one-worker deployment
+        from repro import obs
+        from repro.obs.mpmetrics import MetricsFileWriter
+
+        obs.enable_metrics()
+        obs.registry().attach_mirror(
+            MetricsFileWriter(metrics_dir, worker=0, generation=0)
+        )
     server = PredictionServer(
-        engine, host=args.host, port=args.port, quiet=not args.verbose
+        engine,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        metrics_dir=metrics_dir,
+        access_log=access_log,
     )
     return engine, server
 
@@ -229,6 +250,8 @@ def _cmd_serve_pool(args: argparse.Namespace) -> int:
         threads=args.workers,
         timeout_s=args.timeout_s,
         quiet=not args.verbose,
+        metrics_dir=getattr(args, "metrics_dir", None),
+        access_log=getattr(args, "access_log", None),
     )
     with ServerPool(args.models, config=config) as pool:
         names = ", ".join(pool.registry.names())
@@ -236,7 +259,9 @@ def _cmd_serve_pool(args: argparse.Namespace) -> int:
             f"serving {len(pool.registry)} model(s) [{names}] at {pool.url} "
             f"across {args.procs} workers ({pool.strategy})"
         )
-        print("endpoints: POST /predict, GET /healthz, GET /metrics")
+        print("endpoints: POST /predict, GET /healthz, GET /metrics "
+              "(?format=prom for Prometheus)")
+        print(f"fleet metrics: repro obs top --dir {pool.metrics_dir}")
         print("signals: SIGHUP reloads changed artifacts, SIGTERM drains")
         try:
             pool.run_forever()
@@ -259,6 +284,118 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
     return 0
+
+
+def _obs_top_rows(snapshots, previous: dict | None, interval_s: float):
+    """Per-worker dashboard rows from fleet snapshots.
+
+    *previous* maps pid -> last-seen ``serve.requests_total`` for rate
+    deltas; None (first poll / --once) derives rps from the worker's
+    uptime instead.
+    """
+    from repro.obs.mpmetrics import _rebuild_histogram
+
+    rows = []
+    for snap in snapshots:
+        requests = snap.value("serve.requests_total")
+        if previous is not None and snap.pid in previous and interval_s > 0:
+            rps = max(0.0, requests - previous[snap.pid]) / interval_s
+        else:
+            uptime = snap.value("proc.uptime_s")
+            rps = requests / uptime if uptime > 0 else 0.0
+        hist_row = snap.row("serve.request_seconds", "histogram")
+        quantiles = {}
+        if hist_row and hist_row["count"]:
+            hist = _rebuild_histogram(hist_row)
+            for q, label in ((0.50, "p50_ms"), (0.95, "p95_ms"),
+                             (0.99, "p99_ms")):
+                quantiles[label] = round(hist.quantile(q) * 1e3, 3)
+        else:
+            quantiles = {"p50_ms": None, "p95_ms": None, "p99_ms": None}
+        hits = snap.value("serve.graph_cache_hits_total")
+        misses = snap.value("serve.graph_cache_misses_total")
+        lookups = hits + misses
+        rows.append({
+            "worker": snap.worker,
+            "pid": snap.pid,
+            "generation": snap.generation,
+            "alive": snap.alive,
+            "requests": requests,
+            "rps": round(rps, 2),
+            **quantiles,
+            "cache_hit_pct": (
+                round(100.0 * hits / lookups, 1) if lookups else None
+            ),
+            "rss_kb": int(snap.value("proc.rss_kb")),
+            "queue_depth": int(snap.value("serve.queue_depth")),
+        })
+    return rows
+
+
+def _render_top_table(rows) -> str:
+    from repro.analysis.tables import render_table
+
+    def fmt(value):
+        return "-" if value is None else value
+
+    body = [
+        [row["worker"], row["pid"], row["generation"],
+         "up" if row["alive"] else "dead", int(row["requests"]), row["rps"],
+         fmt(row["p50_ms"]), fmt(row["p95_ms"]), fmt(row["p99_ms"]),
+         fmt(row["cache_hit_pct"]), row["rss_kb"], row["queue_depth"]]
+        for row in rows
+    ]
+    return render_table(
+        ["worker", "pid", "gen", "state", "reqs", "rps", "p50ms", "p95ms",
+         "p99ms", "hit%", "rss_kb", "queue"],
+        body,
+        title="repro obs top",
+    )
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live per-worker dashboard over the pool's mmap metrics files."""
+    import json as json_module
+    import time
+
+    from repro.obs.mpmetrics import load_snapshots, merge_snapshots
+
+    snapshots = load_snapshots(args.dir)
+    if args.once:
+        rows = _obs_top_rows(snapshots, None, 0.0)
+        if args.json:
+            merged = merge_snapshots(snapshots)
+            print(json_module.dumps(
+                {"dir": args.dir, "workers": rows, "fleet": merged},
+                default=str,
+            ))
+        else:
+            if not rows:
+                print(f"no live worker metrics files under {args.dir}",
+                      file=sys.stderr)
+                return 2
+            print(_render_top_table(rows))
+        return 0
+    previous: dict | None = None
+    try:
+        while True:
+            rows = _obs_top_rows(snapshots, previous, args.interval)
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            if rows:
+                print(_render_top_table(rows))
+            else:
+                print(f"no live worker metrics files under {args.dir}")
+            print(f"polling {args.dir} every {args.interval:g}s "
+                  "(ctrl-c to quit)")
+            sys.stdout.flush()
+            previous = {
+                snap.pid: snap.value("serve.requests_total")
+                for snap in snapshots
+            }
+            time.sleep(args.interval)
+            snapshots = load_snapshots(args.dir)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -473,6 +610,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-request deadline while queued")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
+    p_serve.add_argument("--metrics-dir", default=None, metavar="DIR",
+                         help="directory for per-worker mmap metrics files "
+                              "(pools auto-create one when omitted)")
+    p_serve.add_argument("--access-log", default=None, metavar="FILE",
+                         help="append one JSON line per request here "
+                              "(tail-sampled span detail on slow/error)")
     add_obs_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -521,6 +664,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("trace_file",
                           help="file written by --trace or --obs-jsonl")
     p_report.set_defaults(func=_cmd_obs)
+    p_top = obs_sub.add_parser(
+        "top", help="live per-worker serving dashboard (fleet metrics)"
+    )
+    p_top.add_argument("--dir", required=True,
+                       help="pool metrics directory (printed by "
+                            "`repro serve --procs N`)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="poll interval in seconds")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit")
+    p_top.add_argument("--json", action="store_true",
+                       help="with --once: machine-readable JSON")
+    p_top.set_defaults(func=_cmd_obs_top)
     return parser
 
 

@@ -85,6 +85,10 @@ class ServeTimeoutError(ServeError):
     """Raised when a queued request exceeds its per-request timeout."""
 
 
+class ObsError(ReproError):
+    """Observability subsystem failure (metrics files, exposition)."""
+
+
 class StaticCheckError(ReproError):
     """Raised for static-analysis configuration failures (bad baseline,
     unknown rule name, unparseable target file)."""

@@ -45,12 +45,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.requestlog import (
+    AccessLog,
+    current_request_id,
+    new_request_id,
+    request_context,
+)
 from repro.obs.tracer import NULL_SPAN, SpanRecord, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "ObsTrainCallback", "SpanRecord", "Tracer", "DEFAULT_BUCKETS",
+    "AccessLog", "current_request_id", "new_request_id", "request_context",
     "enable", "disable", "is_enabled", "reset", "span", "traced",
+    "enable_metrics", "disable_metrics", "metrics_enabled",
     "inc", "set_gauge", "observe", "tracer", "registry",
     "export_jsonl", "export_chrome_trace", "summary",
     "chrome_trace_events", "load_events", "render_summary",
@@ -59,6 +67,7 @@ __all__ = [
 
 _TRACER = Tracer()
 _REGISTRY = MetricsRegistry()
+_METRICS_ONLY = False
 
 
 def tracer() -> Tracer:
@@ -87,6 +96,29 @@ def disable() -> None:
 
 def is_enabled() -> bool:
     return _TRACER.enabled
+
+
+def enable_metrics() -> None:
+    """Turn on metric collection without span collection.
+
+    Long-running serving workers want counters/gauges/histograms (bounded
+    state, streamed to their mmap metrics file) but must not accumulate an
+    unbounded span list; this enables exactly the former.  Full
+    :func:`enable` supersedes it while active.
+    """
+    global _METRICS_ONLY
+    _METRICS_ONLY = True
+
+
+def disable_metrics() -> None:
+    """Undo :func:`enable_metrics` (full ``enable()`` state is untouched)."""
+    global _METRICS_ONLY
+    _METRICS_ONLY = False
+
+
+def metrics_enabled() -> bool:
+    """True when metric calls record (full enable or metrics-only mode)."""
+    return _TRACER._enabled or _METRICS_ONLY
 
 
 def reset() -> None:
@@ -127,17 +159,18 @@ def traced(name: str | None = None, **attrs):
 
 
 # ----------------------------------------------------------------------
-# Metrics (gated on the same enable flag, so hot paths stay free when off)
+# Metrics (gated so hot paths stay free when off; serving workers flip
+# metrics-only mode via enable_metrics() to keep span state bounded)
 # ----------------------------------------------------------------------
 def inc(name: str, n: float = 1.0, **labels) -> None:
     """Bump a counter (no-op while collection is disabled)."""
-    if _TRACER._enabled:
+    if _TRACER._enabled or _METRICS_ONLY:
         _REGISTRY.inc(name, n, **labels)
 
 
 def set_gauge(name: str, value: float, **labels) -> None:
     """Set a gauge (no-op while collection is disabled)."""
-    if _TRACER._enabled:
+    if _TRACER._enabled or _METRICS_ONLY:
         _REGISTRY.set(name, value, **labels)
 
 
@@ -145,7 +178,7 @@ def observe(
     name: str, value: float, buckets: tuple = DEFAULT_BUCKETS, **labels
 ) -> None:
     """Record a histogram observation (no-op while collection is disabled)."""
-    if _TRACER._enabled:
+    if _TRACER._enabled or _METRICS_ONLY:
         _REGISTRY.observe(name, value, buckets=buckets, **labels)
 
 

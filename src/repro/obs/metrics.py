@@ -106,13 +106,18 @@ class Histogram:
         previous_bound = None
         for bound, bucket_count in zip(self.buckets, self.counts):
             if bucket_count and seen + bucket_count >= rank:
-                if not math.isfinite(bound):  # +inf backstop bucket
-                    return self.max
                 lower = (
                     self.min if previous_bound is None else previous_bound
                 )
                 fraction = (rank - seen) / bucket_count
-                estimate = lower + fraction * (bound - lower)
+                if not math.isfinite(bound):
+                    # +inf backstop: interpolate toward the observed max
+                    # instead of snapping to it (so q=0 with everything in
+                    # the overflow bucket still reports the observed min).
+                    lower = max(self.min, lower)
+                    estimate = lower + fraction * (self.max - lower)
+                else:
+                    estimate = lower + fraction * (bound - lower)
                 return min(self.max, max(self.min, estimate))
             seen += bucket_count
             previous_bound = bound
@@ -125,6 +130,27 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[tuple, object] = {}
+        self._mirror = None
+
+    def attach_mirror(self, mirror) -> None:
+        """Mirror every mutation into *mirror* (``.write(metric)``).
+
+        Used by the serving pool to stream each worker's registry into its
+        mmap metrics file; existing metrics are re-written immediately so a
+        mirror attached after warm-up still sees the full state.  Mirror
+        writes happen under the registry lock, giving the file a single
+        writer.
+        """
+        with self._lock:
+            self._mirror = mirror
+            for metric in self._metrics.values():
+                mirror.write(metric)
+
+    def detach_mirror(self):
+        """Stop mirroring; returns the previous mirror (or None)."""
+        with self._lock:
+            mirror, self._mirror = self._mirror, None
+            return mirror
 
     def _get(self, kind, name: str, labels: dict | None, **kwargs):
         key = (kind.__name__, name, _label_key(labels or {}))
@@ -151,11 +177,15 @@ class MetricsRegistry:
         counter = self.counter(name, **labels)
         with self._lock:
             counter.inc(n)
+            if self._mirror is not None:
+                self._mirror.write(counter)
 
     def set(self, name: str, value: float, **labels) -> None:
         gauge = self.gauge(name, **labels)
         with self._lock:
             gauge.set(value)
+            if self._mirror is not None:
+                self._mirror.write(gauge)
 
     def observe(
         self, name: str, value: float, buckets: tuple = DEFAULT_BUCKETS, **labels
@@ -163,6 +193,8 @@ class MetricsRegistry:
         histogram = self.histogram(name, buckets=buckets, **labels)
         with self._lock:
             histogram.observe(value)
+            if self._mirror is not None:
+                self._mirror.write(histogram)
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

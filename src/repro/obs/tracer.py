@@ -27,6 +27,8 @@ import time
 import tracemalloc
 from dataclasses import dataclass, field
 
+from repro.obs.requestlog import current_request_id
+
 try:  # pragma: no cover - resource is POSIX-only
     import resource
 except ImportError:  # pragma: no cover
@@ -116,6 +118,10 @@ class _ActiveSpan:
         stack = tracer._stack()
         self.parent_id = stack[-1].span_id if stack else None
         self.depth = len(stack)
+        if "request_id" not in self.attrs:
+            rid = current_request_id()
+            if rid is not None:
+                self.attrs["request_id"] = rid
         with tracer._lock:
             self.span_id = tracer._next_id
             tracer._next_id += 1

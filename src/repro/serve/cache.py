@@ -213,6 +213,15 @@ class GraphCache:
         """Admission policy hook; the base cache admits every fingerprint."""
         return True
 
+    def owns(self, fingerprint: str) -> bool:
+        """Whether this cache's shard owns a fingerprint.
+
+        Side-effect-free (unlike :meth:`admits`, which counts foreign
+        lookups) so the access log can report shard ownership without
+        perturbing the stats.  The unsharded base cache owns everything.
+        """
+        return True
+
     def get(self, circuit: "Circuit", use_cache: bool = True) -> CachedGraph:
         """Entry for a circuit, building (and caching) the graph on a miss."""
         return self.lookup(circuit, use_cache=use_cache)[0]

@@ -33,12 +33,19 @@ BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, float("inf"))
 
 
 class _Item:
-    __slots__ = ("payload", "future", "deadline")
+    __slots__ = ("payload", "future", "deadline", "enqueued")
 
-    def __init__(self, payload: Any, future: Future, deadline: float | None):
+    def __init__(
+        self,
+        payload: Any,
+        future: Future,
+        deadline: float | None,
+        enqueued: float,
+    ):
         self.payload = payload
         self.future = future
         self.deadline = deadline
+        self.enqueued = enqueued  # monotonic submit time, for queue-wait
 
 
 class BatchExecutor:
@@ -107,10 +114,9 @@ class BatchExecutor:
             When the executor has been shut down.
         """
         future: Future = Future()
+        now = time.monotonic()
         deadline_s = self.timeout_s if timeout_s is None else timeout_s
-        deadline = (
-            time.monotonic() + deadline_s if deadline_s is not None else None
-        )
+        deadline = now + deadline_s if deadline_s is not None else None
         with self._cond:
             if self._closed:
                 raise ServeError(f"executor {self.name!r} is shut down")
@@ -120,7 +126,7 @@ class BatchExecutor:
                     f"serving queue full ({self.queue_depth} pending)",
                     queue_depth=self.queue_depth,
                 )
-            self._queue.append(_Item(payload, future, deadline))
+            self._queue.append(_Item(payload, future, deadline, now))
             obs.set_gauge("serve.queue_depth", len(self._queue))
             self._cond.notify()
         return future
@@ -163,6 +169,11 @@ class BatchExecutor:
                     ServeTimeoutError("request timed out while queued")
                 )
             else:
+                wait = max(0.0, now - item.enqueued)
+                # piggybacked on the future so the engine can report the
+                # queue wait in the result's timing without an extra channel
+                item.future.queue_wait_s = wait
+                obs.observe("serve.queue_wait_seconds", wait)
                 live.append(item)
         if not live:
             return

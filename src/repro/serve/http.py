@@ -6,9 +6,19 @@ Endpoints:
   "targets": [...], "model": ...}`` for one circuit, or
   ``{"items": [<request>, ...]}`` for a micro-batched group.  Responds with
   a :meth:`PredictionResult.to_json_dict` dump (or ``{"results": [...]}``).
-* ``GET /healthz`` — liveness plus the model inventory.
-* ``GET /metrics`` — engine stats (cache hit rate, queue depth) and, when
-  ``repro.obs`` collection is enabled, the metrics-registry snapshot.
+* ``GET /healthz`` — liveness plus the model inventory; pool workers also
+  report their identity (index, pid, weight ``generation``) and, when a
+  metrics directory is wired, per-worker fleet liveness.
+* ``GET /metrics`` — engine stats (cache hit rate, queue depth), the
+  metrics-registry snapshot when collection is on, and the merged fleet
+  rows when a metrics directory is wired.  ``/metrics?format=prom``
+  serves Prometheus text-format 0.0.4 instead (fleet-merged when
+  possible, this process's registry otherwise).
+
+Every request is tagged with an ``X-Request-ID`` (client-supplied header
+or minted here), echoed on **all** responses including errors, bound as
+the obs request context for the handler's duration, and written to the
+structured access log when one is configured.
 
 Error mapping: bad request body/netlist → 400, unknown model/target → 404,
 queue backpressure → 429 (with a ``Retry-After`` hint), queued-too-long →
@@ -19,11 +29,13 @@ client — including :mod:`urllib.request` — can drive it.
 from __future__ import annotations
 
 import json
+import os
 import socket as socket_module
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlsplit
 
 from repro import obs
 from repro.api.types import PredictionOptions, PredictionRequest
@@ -36,6 +48,8 @@ from repro.errors import (
     ServeOverloadedError,
     ServeTimeoutError,
 )
+from repro.obs import expo
+from repro.obs.requestlog import new_request_id, request_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.engine import Engine
@@ -68,6 +82,9 @@ class _Handler(BaseHTTPRequestHandler):
     started_at: float = 0.0
     quiet: bool = True
     worker_id: int | None = None  # pool worker index, for fan-out visibility
+    generation: int | None = None  # weight generation (pool workers)
+    metrics_dir: str | None = None  # fleet metrics files (pool workers)
+    access_log = None  # an AccessLog, or None
 
     protocol_version = "HTTP/1.1"
 
@@ -76,19 +93,35 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: dict, **headers) -> None:
-        body = json.dumps(payload).encode()
+    def _send_headers(self, status: int, headers: dict) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-ID", self._request_id)
         if self.worker_id is not None:
             self.send_header("X-Worker", str(self.worker_id))
         for name, value in headers.items():
             self.send_header(name.replace("_", "-"), str(value))
+
+    def _send_json(self, status: int, payload: dict, **headers) -> None:
+        body = json.dumps(payload).encode()
+        self._send_headers(status, headers)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(
+        self, status: int, text: str, content_type: str, **headers
+    ) -> None:
+        body = text.encode()
+        self._send_headers(status, headers)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, error: Exception, **headers) -> None:
+        self._log_fields["error"] = f"{type(error).__name__}: {error}"
         self._send_json(
             status,
             {"error": type(error).__name__, "message": str(error)},
@@ -96,26 +129,110 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+    # Request-scoped dispatch: mint/adopt the request ID, bind the obs
+    # request context, time the request, emit metrics + access log.
+    # ------------------------------------------------------------------
+    def _dispatch(self, method_name: str, handler) -> None:
+        started = time.perf_counter()
+        self._request_id = (
+            self.headers.get("X-Request-ID") or new_request_id()
+        )
+        self._status = 0  # overwritten by the first response sent
+        self._log_fields: dict = {}
         path = self.path.split("?", 1)[0]
+        with request_context(self._request_id):
+            try:
+                handler()
+            finally:
+                duration = time.perf_counter() - started
+                obs.observe("serve.request_seconds", duration)
+                obs.inc(
+                    "serve.http_responses_total", status=str(self._status)
+                )
+                log = self.access_log
+                if log is not None and log.enabled:
+                    log.log(
+                        request_id=self._request_id,
+                        status=self._status,
+                        duration_s=duration,
+                        worker=self.worker_id,
+                        method=method_name,
+                        path=path,
+                        detail_fn=self._span_detail,
+                        **self._log_fields,
+                    )
+
+    def _span_detail(self) -> dict:
+        """Span rows for this request (tail-sampled: slow/error only)."""
+        rid = self._request_id
+        rows = [
+            span.as_row()
+            for span in obs.tracer().spans()[-256:]
+            if span.attrs.get("request_id") == rid
+        ]
+        return {"spans": rows}
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST", self._handle_post)
+
+    # ------------------------------------------------------------------
+    def _fleet_snapshots(self, live_only: bool = True):
+        from repro.obs.mpmetrics import load_snapshots
+
+        return load_snapshots(self.metrics_dir, live_only=live_only)
+
+    def _handle_get(self) -> None:
+        parts = urlsplit(self.path)
+        path = parts.path
+        query = parse_qs(parts.query)
         if path == "/healthz":
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "uptime_s": time.monotonic() - self.started_at,
-                    "models": self.engine.registry.describe(),
-                },
-            )
+            payload = {
+                "status": "ok",
+                "uptime_s": time.monotonic() - self.started_at,
+                "models": self.engine.registry.describe(),
+            }
+            if self.worker_id is not None:
+                payload["worker"] = {
+                    "id": self.worker_id,
+                    "pid": os.getpid(),
+                    "generation": self.generation,
+                }
+            if self.metrics_dir:
+                payload["fleet"] = [
+                    {
+                        "worker": snap.worker,
+                        "pid": snap.pid,
+                        "generation": snap.generation,
+                        "alive": snap.alive,
+                    }
+                    for snap in self._fleet_snapshots(live_only=False)
+                ]
+            self._send_json(200, payload)
         elif path == "/metrics":
+            if query.get("format", [""])[0] == "prom":
+                if self.metrics_dir:
+                    text = expo.render_fleet(self._fleet_snapshots())
+                else:
+                    text = expo.render_registry_rows(
+                        obs.registry().snapshot(), worker=self.worker_id
+                    )
+                self._send_text(200, text, expo.CONTENT_TYPE)
+                return
             payload = {"serve": self.engine.stats()}
-            if obs.is_enabled():
+            if obs.metrics_enabled():
                 payload["obs"] = obs.registry().snapshot()
+            if self.metrics_dir:
+                from repro.obs.mpmetrics import merge_snapshots
+
+                payload["fleet"] = merge_snapshots(self._fleet_snapshots())
             self._send_json(200, payload)
         else:
             self._send_error_json(404, ApiError(f"no route {path!r}"))
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _handle_post(self) -> None:
         path = self.path.split("?", 1)[0]
         if path != "/predict":
             self._send_error_json(404, ApiError(f"no route {path!r}"))
@@ -131,14 +248,26 @@ class _Handler(BaseHTTPRequestHandler):
                 if not isinstance(items, list):
                     raise ApiError('"items" must be a list of requests')
                 requests = [request_from_json(item) for item in items]
+                for request in requests:
+                    request.request_id = self._request_id
                 results = self.engine.predict_batch(requests)
+                self._log_fields["n_items"] = len(results)
                 self._send_json(
                     200, {"results": [r.to_json_dict() for r in results]}
                 )
             else:
                 request = request_from_json(payload)
+                request.request_id = self._request_id
                 obs.inc("serve.requests_total")
                 result = self.engine.predict(request)
+                timing = result.timing
+                self._log_fields.update(
+                    cache_hit=timing.cache_hit,
+                    queue_s=timing.queue_s,
+                    graph_s=round(timing.graph_s, 6),
+                    inference_s=round(timing.inference_s, 6),
+                    shard_owned=self.engine.cache.owns(result.fingerprint),
+                )
                 self._send_json(200, result.to_json_dict())
         except ServeOverloadedError as error:
             self._send_error_json(429, error, Retry_After=1)
@@ -189,8 +318,12 @@ class PredictionServer:
         socket: "socket_module.socket | None" = None,
         worker_id: int | None = None,
         daemon_threads: bool = True,
+        generation: int | None = None,
+        metrics_dir: str | None = None,
+        access_log=None,
     ):
         self.engine = engine
+        self.access_log = access_log
         handler = type(
             "BoundHandler",
             (_Handler,),
@@ -199,6 +332,9 @@ class PredictionServer:
                 "started_at": time.monotonic(),
                 "quiet": quiet,
                 "worker_id": worker_id,
+                "generation": generation,
+                "metrics_dir": metrics_dir,
+                "access_log": access_log,
             },
         )
         if socket is None:
@@ -269,6 +405,9 @@ class PredictionServer:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.engine.close()
+        if self.access_log is not None:
+            # closes only streams the AccessLog itself opened
+            self.access_log.close()
 
     def __enter__(self) -> "PredictionServer":
         return self.start()

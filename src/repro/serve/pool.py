@@ -40,12 +40,14 @@ import os
 import selectors
 import signal
 import socket
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, replace
 
 from repro import obs
 from repro.errors import ServeError
+from repro.obs import mpmetrics
 from repro.serve.cache import GraphCache
 from repro.serve.registry import artifact_version
 from repro.serve.shm import (
@@ -127,12 +129,16 @@ class ShardedGraphCache(GraphCache):
         self.foreign = 0  # lookups for fingerprints another shard owns
 
     def admits(self, fingerprint: str) -> bool:
-        owned = self.ring.shard_for(fingerprint) == self.shard
+        owned = self.owns(fingerprint)
         if not owned:
             # plain int increment: GIL-atomic, stats-only
             self.foreign += 1
             obs.inc("serve.shard_foreign_total")
         return owned
+
+    def owns(self, fingerprint: str) -> bool:
+        """Ring lookup without the foreign-counter side effect."""
+        return self.ring.shard_for(fingerprint) == self.shard
 
     def describe_shard(self) -> dict:
         """JSON-ready shard identity for ``/metrics``."""
@@ -166,6 +172,11 @@ class PoolConfig:
     ring_replicas: int = 64
     drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
     quiet: bool = True
+    #: directory for per-worker mmap metrics files (None = auto temp dir,
+    #: created by start() and removed by stop())
+    metrics_dir: str | None = None
+    #: structured JSON access-log path (None = no access log)
+    access_log: str | None = None
 
 
 @dataclass
@@ -215,6 +226,16 @@ def _reset_inherited_locks(registry) -> None:
     registry._lock = threading.RLock()
 
 
+def _process_rss_kb() -> int:
+    """Current RSS of this process in KiB (0 when /proc is unavailable)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (os.sysconf("SC_PAGESIZE") // 1024)
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return 0
+
+
 # ----------------------------------------------------------------------
 # Worker (child) side
 # ----------------------------------------------------------------------
@@ -261,12 +282,52 @@ def _child_main(
             ),
             cache=cache,
         )
+
+        # Fleet telemetry: collect metrics (bounded state, no spans) and
+        # stream every registry mutation into this worker's mmap file so
+        # the parent / any sibling can serve the merged fleet view.
+        writer = None
+        if config.metrics_dir:
+            obs.enable_metrics()
+            writer = mpmetrics.MetricsFileWriter(
+                config.metrics_dir, worker=index, generation=generation
+            )
+            obs.registry().attach_mirror(writer)
+
+            def _heartbeat(started=time.monotonic()):
+                while True:
+                    try:
+                        obs.set_gauge("proc.rss_kb", _process_rss_kb())
+                        obs.set_gauge(
+                            "proc.uptime_s", time.monotonic() - started
+                        )
+                        executor = engine._executor
+                        obs.set_gauge(
+                            "serve.queue_depth",
+                            executor.pending() if executor is not None else 0,
+                        )
+                    except Exception:  # pragma: no cover - telemetry only
+                        pass
+                    time.sleep(1.0)
+
+            threading.Thread(
+                target=_heartbeat, name="obs-heartbeat", daemon=True
+            ).start()
+
+        access_log = None
+        if config.access_log:
+            from repro.obs.requestlog import AccessLog
+
+            access_log = AccessLog(config.access_log)
         server = PredictionServer(
             engine,
             socket=listener,
             worker_id=index,
             daemon_threads=False,  # drain joins in-flight handlers
             quiet=config.quiet,
+            generation=generation,
+            metrics_dir=config.metrics_dir or None,
+            access_log=access_log,
         )
 
         def _drain(signum, frame):
@@ -285,6 +346,11 @@ def _child_main(
         # Drain epilogue: stop accepting (already done), join in-flight
         # handler threads, flush the BatchExecutor queue, release sockets.
         server.shutdown()
+        if writer is not None:
+            # graceful exit: retire this worker's metrics file so the
+            # merged view never mixes a dead pid's counts back in
+            obs.registry().detach_mirror()
+            writer.close(unlink=True)
     except BaseException:
         status = 1
         try:  # pragma: no cover - crash reporting only
@@ -326,6 +392,7 @@ class ServerPool:
         self._lock = threading.Lock()
         self._started = False
         self._stopped = False
+        self._owns_metrics_dir = False
 
     # -- properties ----------------------------------------------------
     @property
@@ -346,6 +413,11 @@ class ServerPool:
     def strategy(self) -> str:
         return self._strategy
 
+    @property
+    def metrics_dir(self) -> str | None:
+        """Directory holding the per-worker metrics files (after start)."""
+        return self.config.metrics_dir
+
     def workers(self) -> list[WorkerInfo]:
         with self._lock:
             return list(self._workers)
@@ -359,6 +431,14 @@ class ServerPool:
         if self._started:
             return self
         from repro.api.engine import _coerce_registry
+
+        if self.config.metrics_dir is None:
+            auto = os.path.join(
+                tempfile.gettempdir(), f"repro-obs-{os.getpid()}"
+            )
+            self.config = replace(self.config, metrics_dir=auto)
+            self._owns_metrics_dir = True
+        os.makedirs(self.config.metrics_dir, exist_ok=True)
 
         self.registry = _coerce_registry(self._models)
         self._published = publish_registry_weights(
@@ -476,6 +556,12 @@ class ServerPool:
             obs.inc("serve.pool_workers_died_total")
             if respawn and not self._stopped:
                 self._spawn(worker.index, self.generation)
+        if dead and self.config.metrics_dir:
+            # a SIGKILL-ed worker leaves its metrics file behind; merge
+            # already excludes dead pids, reaping keeps the dir bounded
+            mpmetrics.reap_stale(
+                self.config.metrics_dir, keep_pids=self.pids()
+            )
         obs.set_gauge("serve.pool_workers", len(self.workers()))
         return [worker.index for worker in dead]
 
@@ -567,6 +653,16 @@ class ServerPool:
         if self._published is not None:
             self._published.unlink()
             self._published = None
+        directory = self.config.metrics_dir
+        if directory and os.path.isdir(directory):
+            # every worker has exited; drop leftover files (crashed
+            # workers), and the directory itself when we created it
+            mpmetrics.reap_stale(directory)
+            if self._owns_metrics_dir:
+                try:
+                    os.rmdir(directory)
+                except OSError:  # non-empty (foreign files): leave it
+                    pass
         obs.set_gauge("serve.pool_workers", 0)
 
     def __enter__(self) -> "ServerPool":

@@ -80,6 +80,11 @@ MUTATORS = frozenset(
 
 INIT_METHODS = ("__init__", "__post_init__")
 
+#: Factory methods on the obs metrics registry that hand out live metric
+#: objects.  Direct ``.value`` writes on those objects bypass the registry
+#: lock, so outside ``repro.obs`` they must go through the helpers.
+METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
 
 def _is_lock_call(node: ast.AST) -> bool:
     return isinstance(node, ast.Call) and dotted_name(node.func) in LOCK_FACTORIES
@@ -191,14 +196,85 @@ class _MutationScanner(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _is_metric_factory_call(node: ast.AST) -> bool:
+    """``<anything>.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in METRIC_FACTORIES
+    )
+
+
+class _MetricValueScanner(ast.NodeVisitor):
+    """Find unlocked ``.value`` writes on obs metric objects.
+
+    Tracks names bound from metric-factory calls (``c = reg.counter(...)``)
+    and flags ``c.value = ...`` / ``c.value += ...`` — plus the chained form
+    ``reg.counter(...).value += 1`` — unless a lock-ish context manager
+    (any ``with`` over an expression whose dotted name mentions ``lock``)
+    is held.  Reads of ``.value`` are fine; only writes race.
+    """
+
+    def __init__(self) -> None:
+        self.metric_names: set[str] = set()
+        self.held = 0
+        self.hits: list[ast.AST] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(
+            "lock" in dotted_name(item.context_expr).lower()
+            for item in node.items
+        )
+        if holds:
+            self.held += 1
+        self.generic_visit(node)
+        if holds:
+            self.held -= 1
+
+    def _check_target(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt, node)
+            return
+        if not (isinstance(target, ast.Attribute) and target.attr == "value"):
+            return
+        base = target.value
+        is_metric = (
+            isinstance(base, ast.Name) and base.id in self.metric_names
+        ) or _is_metric_factory_call(base)
+        if is_metric and self.held == 0:
+            self.hits.append(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_metric_factory_call(node.value):
+            for target in node.targets:
+                self.metric_names.update(assigned_names(target))
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_metric_factory_call(node.value):
+            self.metric_names.update(assigned_names(node.target))
+        self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+        self.generic_visit(node)
+
+
 class ConcurrencyRule(Rule):
     name = "concurrency"
     description = (
         "mutable shared state in serve/obs/api mutated without holding a "
-        "threading lock via `with`; bare .acquire() calls"
+        "threading lock via `with`; bare .acquire() calls; direct .value "
+        "writes on obs metric objects outside repro.obs"
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_package("obs"):
+            yield from self._check_metric_objects(ctx)
         if not any(ctx.in_package(pkg) for pkg in THREADED_PACKAGES):
             return
         yield from self._check_bare_acquire(ctx)
@@ -206,6 +282,20 @@ class ConcurrencyRule(Rule):
         for node in ctx.tree.body:
             if isinstance(node, ast.ClassDef):
                 yield from self._check_class(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_metric_objects(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scanner = _MetricValueScanner()
+        scanner.visit(ctx.tree)
+        for site in scanner.hits:
+            yield self.finding(
+                ctx,
+                site,
+                "direct .value write on an obs metric object bypasses the "
+                "registry lock and the multiprocess mirror; use obs.inc()/"
+                "obs.set_gauge()/obs.observe() (or the MetricsRegistry "
+                "inc/set/observe helpers) instead",
+            )
 
     # ------------------------------------------------------------------
     def _check_bare_acquire(self, ctx: ModuleContext) -> Iterator[Finding]:

@@ -140,7 +140,7 @@ class TestSignatureSnapshot:
         names = [f.name for f in dataclasses.fields(repro.api.PredictionRequest)]
         assert names == [
             "circuit", "netlist_path", "netlist_text", "name",
-            "targets", "model", "options",
+            "targets", "model", "options", "request_id",
         ]
 
     def test_engine_config_fields(self):

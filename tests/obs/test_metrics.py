@@ -88,12 +88,38 @@ class TestQuantiles:
         hist = reg.histogram("latency", buckets=buckets)
         assert 5.0 <= hist.quantile(0.5) <= 7.0
 
-    def test_backstop_bucket_returns_observed_max(self, reg):
+    def test_backstop_bucket_interpolates_toward_observed_max(self, reg):
         buckets = (1.0, math.inf)
         reg.observe("latency", 0.5, buckets=buckets)
         reg.observe("latency", 123.0, buckets=buckets)
         hist = reg.histogram("latency", buckets=buckets)
-        assert hist.quantile(0.99) == 123.0
+        # the q=0.99 rank lands in the +inf backstop: interpolated between
+        # the last finite bound and the observed max, never beyond it
+        assert 1.0 <= hist.quantile(0.99) <= 123.0
+        assert hist.quantile(1.0) == 123.0
+
+    def test_all_in_backstop_bucket_clamped_to_observed_range(self, reg):
+        # every observation beyond the last finite bound: quantiles must
+        # stay within [observed min, observed max], and q=0 reports min
+        buckets = (1.0, math.inf)
+        for v in (450.0, 500.0, 550.0):
+            reg.observe("latency", v, buckets=buckets)
+        hist = reg.histogram("latency", buckets=buckets)
+        assert hist.quantile(0.0) == 450.0
+        assert hist.quantile(1.0) == 550.0
+        assert 450.0 <= hist.quantile(0.5) <= 550.0
+
+    def test_single_observation_every_quantile_is_it(self, reg):
+        reg.observe("latency", 5.0, buckets=(1.0, 10.0, math.inf))
+        hist = reg.histogram("latency", buckets=(1.0, 10.0, math.inf))
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == 5.0
+
+    def test_single_observation_in_backstop_is_it(self, reg):
+        reg.observe("latency", 77.0, buckets=(1.0, math.inf))
+        hist = reg.histogram("latency", buckets=(1.0, math.inf))
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 77.0
 
     def test_empty_histogram_quantile_is_nan(self, reg):
         assert math.isnan(reg.histogram("unused").quantile(0.5))

@@ -233,3 +233,136 @@ class TestLifecycle:
         request = urllib.request.Request(served.url + "/healthz")
         with urllib.request.urlopen(request, timeout=10.0) as response:
             assert response.headers.get("X-Worker") is None
+
+
+class TestTelemetry:
+    """Request IDs, worker identity on /healthz, Prometheus exposition,
+    and the access log — the fleet-observability surface."""
+
+    def _open(self, url, payload=None, headers=None):
+        body = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(url, data=body, headers=headers or {})
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            return urllib.request.urlopen(request, timeout=10.0)
+        except urllib.error.HTTPError as error:
+            return error
+
+    def test_request_id_minted_on_every_response(self, served):
+        response = self._open(served.url + "/healthz")
+        rid = response.headers["X-Request-ID"]
+        assert rid and len(rid) == 16
+
+    def test_request_id_echoed_when_supplied(self, served, netlist_text):
+        response = self._open(
+            served.url + "/predict",
+            {"netlist": netlist_text, "model": "CAP"},
+            headers={"X-Request-ID": "client-id-42"},
+        )
+        assert response.headers["X-Request-ID"] == "client-id-42"
+        payload = json.loads(response.read())
+        assert payload["request_id"] == "client-id-42"
+        assert "queue_s" in payload["timing"]
+
+    def test_request_id_present_on_errors(self, served):
+        for response in (
+            self._open(served.url + "/nope"),  # 404
+            self._open(served.url + "/predict", {"bogus": True}),  # 400
+        ):
+            assert response.code in (400, 404)
+            assert response.headers["X-Request-ID"]
+
+    def test_healthz_reports_worker_identity(self, api_cap_predictor):
+        engine = create_engine({"CAP": api_cap_predictor}, workers=1)
+        with PredictionServer(
+            engine, port=0, worker_id=3, generation=2
+        ) as server:
+            response = self._open(server.url + "/healthz")
+            payload = json.loads(response.read())
+            assert payload["worker"] == {
+                "id": 3, "pid": __import__("os").getpid(), "generation": 2,
+            }
+
+    def test_prometheus_endpoint_is_valid(self, served, netlist_text):
+        from repro import obs
+        from repro.obs.expo import CONTENT_TYPE, validate_exposition
+
+        obs.enable_metrics()
+        try:
+            self._open(
+                served.url + "/predict",
+                {"netlist": netlist_text, "model": "CAP"},
+            )
+            response = self._open(served.url + "/metrics?format=prom")
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            families, series = validate_exposition(response.read().decode())
+            assert families.get("repro_serve_requests_total") == "counter"
+            assert families.get("repro_serve_request_seconds") == "histogram"
+        finally:
+            obs.disable_metrics()
+            obs.registry().reset()
+
+    def test_metrics_dir_surfaces_fleet_views(self, api_cap_predictor,
+                                              tmp_path):
+        import os
+
+        from repro import obs
+        from repro.obs.expo import validate_exposition
+        from repro.obs.mpmetrics import MetricsFileWriter
+
+        obs.enable_metrics()
+        writer = MetricsFileWriter(tmp_path, worker=0, generation=1)
+        obs.registry().attach_mirror(writer)
+        engine = create_engine({"CAP": api_cap_predictor}, workers=1)
+        try:
+            with PredictionServer(
+                engine, port=0, worker_id=0, generation=1,
+                metrics_dir=str(tmp_path),
+            ) as server:
+                obs.inc("serve.requests_total", 5)
+                health = json.loads(self._open(server.url + "/healthz").read())
+                assert health["fleet"] == [
+                    {"worker": 0, "pid": os.getpid(), "generation": 1,
+                     "alive": True},
+                ]
+                prom = self._open(server.url + "/metrics?format=prom")
+                _, series = validate_exposition(prom.read().decode())
+                assert series[("repro_serve_requests_total", ())] == 5.0
+                up_keys = [k for k in series if k[0] == "repro_worker_up"]
+                assert len(up_keys) == 1
+                plain = json.loads(self._open(server.url + "/metrics").read())
+                fleet = {row["name"]: row for row in plain["fleet"]}
+                assert fleet["serve.requests_total"]["value"] == 5.0
+        finally:
+            obs.registry().detach_mirror()
+            writer.close(unlink=True)
+            obs.disable_metrics()
+            obs.registry().reset()
+
+    def test_access_log_tail_sampling_through_server(self, api_cap_predictor,
+                                                     netlist_text, tmp_path):
+        from repro.obs.requestlog import AccessLog
+
+        log_path = tmp_path / "access.jsonl"
+        engine = create_engine({"CAP": api_cap_predictor}, workers=1)
+        with PredictionServer(
+            engine, port=0, access_log=AccessLog(log_path, slow_s=30.0)
+        ) as server:
+            ok = self._open(
+                server.url + "/predict",
+                {"netlist": netlist_text, "model": "CAP"},
+                headers={"X-Request-ID": "fast-ok"},
+            )
+            assert ok.code == 200
+            bad = self._open(server.url + "/predict", {"bogus": 1})
+            assert bad.code == 400
+        lines = [json.loads(l) for l in log_path.read_text().splitlines()]
+        by_id = {l["request_id"]: l for l in lines}
+        fast = by_id["fast-ok"]
+        assert fast["status"] == 200 and "detail" not in fast
+        assert fast["path"] == "/predict" and fast["method"] == "POST"
+        assert "cache_hit" in fast and "inference_s" in fast
+        (err,) = [l for l in lines if l["status"] == 400]
+        assert err["sampled"] is True
+        assert "error" in err

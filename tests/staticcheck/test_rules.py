@@ -175,6 +175,64 @@ class TestConcurrency:
             lint(self.BAD_CLASS, "src/repro/serve/pool.py"), "concurrency"
         )
 
+    def test_flags_direct_metric_value_mutation(self):
+        source = (
+            "from repro import obs\n"
+            "def bump():\n"
+            "    c = obs.registry().counter('requests_total')\n"
+            "    c.value += 1\n"
+        )
+        findings = by_rule(
+            lint(source, "src/repro/serve/handlers.py"), "concurrency"
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "obs.inc()" in findings[0].message
+
+    def test_flags_chained_metric_value_mutation(self):
+        source = (
+            "from repro import obs\n"
+            "def bump(reg):\n"
+            "    reg.gauge('depth').value = 3\n"
+        )
+        # fires even outside the threaded packages: metric objects are
+        # shared wherever the registry they came from is shared
+        assert by_rule(
+            lint(source, "src/repro/analysis/foo.py"), "concurrency"
+        )
+
+    def test_locked_metric_value_mutation_passes(self):
+        source = (
+            "from repro import obs\n"
+            "def bump(reg):\n"
+            "    c = reg.counter('requests_total')\n"
+            "    with reg._lock:\n"
+            "        c.value += 1\n"
+        )
+        assert not by_rule(
+            lint(source, "src/repro/serve/handlers.py"), "concurrency"
+        )
+
+    def test_metric_value_reads_pass(self):
+        source = (
+            "def peek(reg):\n"
+            "    c = reg.counter('requests_total')\n"
+            "    return c.value\n"
+        )
+        assert not by_rule(
+            lint(source, "src/repro/serve/handlers.py"), "concurrency"
+        )
+
+    def test_obs_package_is_exempt_from_metric_check(self):
+        source = (
+            "def bump(self, amount):\n"
+            "    counter = self.counter('x_total')\n"
+            "    counter.value += amount\n"
+        )
+        assert not by_rule(
+            lint(source, "src/repro/obs/metrics.py"), "concurrency"
+        )
+
     def test_multiprocessing_locks_are_recognised(self):
         source = (
             "import multiprocessing\n"

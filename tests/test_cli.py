@@ -274,3 +274,98 @@ class TestObsCli:
 
         main(["--trace", str(tmp_path / "t.json"), "dataset", "--scale", "0.05"])
         assert not obs.is_enabled()
+
+
+class TestObsTopCli:
+    """`repro obs top` over a directory of worker metrics files."""
+
+    @staticmethod
+    def _json():
+        import json
+
+        return json
+
+    def _write_worker(self, directory, worker, pid, requests, uptime=10.0):
+        import math
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.mpmetrics import MetricsFileWriter
+
+        registry = MetricsRegistry()
+        writer = MetricsFileWriter(
+            directory, worker=worker, generation=1, pid=pid
+        )
+        registry.attach_mirror(writer)
+        registry.inc("serve.requests_total", requests)
+        registry.set("proc.uptime_s", uptime)
+        registry.set("proc.rss_kb", 1000.0 * (worker + 1))
+        registry.set("serve.queue_depth", float(worker))
+        registry.inc("serve.graph_cache_hits_total", 3)
+        registry.inc("serve.graph_cache_misses_total", 1)
+        registry.observe(
+            "serve.request_seconds", 0.05 * (worker + 1),
+            buckets=(0.1, 1.0, math.inf),
+        )
+        writer.close()
+
+    def test_once_json_one_row_per_live_worker(self, tmp_path, capsys):
+        import os
+        import subprocess
+
+        sleeper = subprocess.Popen(["sleep", "30"])
+        try:
+            self._write_worker(tmp_path, 0, os.getpid(), requests=20)
+            self._write_worker(tmp_path, 1, sleeper.pid, requests=30)
+            assert main(
+                ["obs", "top", "--dir", str(tmp_path), "--once", "--json"]
+            ) == 0
+            payload = self._json().loads(capsys.readouterr().out)
+        finally:
+            sleeper.kill()
+            sleeper.wait()
+        assert payload["dir"] == str(tmp_path)
+        workers = payload["workers"]
+        assert [w["worker"] for w in workers] == [0, 1]
+        assert all(w["alive"] for w in workers)
+        assert workers[0]["requests"] == 20.0
+        assert workers[0]["rps"] == 2.0  # 20 requests over 10s uptime
+        assert workers[0]["cache_hit_pct"] == 75.0
+        assert workers[1]["rss_kb"] == 2000
+        assert workers[0]["p50_ms"] is not None
+        fleet = {row["name"]: row for row in payload["fleet"]}
+        assert fleet["serve.requests_total"]["value"] == 50.0
+        assert fleet["serve.request_seconds"]["count"] == 2
+
+    def test_dead_workers_are_excluded(self, tmp_path, capsys):
+        import os
+        import subprocess
+
+        gone = subprocess.Popen(["true"])
+        gone.wait()
+        self._write_worker(tmp_path, 0, os.getpid(), requests=5)
+        self._write_worker(tmp_path, 1, gone.pid, requests=99)
+        main(["obs", "top", "--dir", str(tmp_path), "--once", "--json"])
+        payload = self._json().loads(capsys.readouterr().out)
+        assert [w["worker"] for w in payload["workers"]] == [0]
+        fleet = {row["name"]: row for row in payload["fleet"]}
+        assert fleet["serve.requests_total"]["value"] == 5.0
+
+    def test_once_table_renders(self, tmp_path, capsys):
+        import os
+
+        self._write_worker(tmp_path, 0, os.getpid(), requests=7)
+        assert main(["obs", "top", "--dir", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro obs top" in out
+        assert "rps" in out and str(os.getpid()) in out
+
+    def test_once_empty_dir_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "top", "--dir", str(tmp_path), "--once"]) == 2
+        assert "no live worker metrics files" in capsys.readouterr().err
+
+    def test_once_empty_dir_json_is_empty_but_ok(self, tmp_path, capsys):
+        assert main(
+            ["obs", "top", "--dir", str(tmp_path), "--once", "--json"]
+        ) == 0
+        payload = self._json().loads(capsys.readouterr().out)
+        assert payload["workers"] == [] and payload["fleet"] == []
