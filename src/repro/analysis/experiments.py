@@ -254,7 +254,7 @@ def experiment_fig6(
                 predictor = _make_predictor(
                     model, target, config, run, cap_max_v
                 )
-                predictor.fit(bundle)
+                _fit_predictor(predictor, bundle)
                 truth, pred = predictor.collect(test_records)
                 keep = truth <= cap_max_v if target == "CAP" else np.ones(len(truth), bool)
                 r2_runs.append(r_squared(truth[keep], pred[keep]))
@@ -262,6 +262,16 @@ def experiment_fig6(
             result.r2[model][target] = float(np.mean(r2_runs))
             result.mae[model][target] = float(np.mean(mae_runs))
     return result
+
+
+def _fit_predictor(predictor, bundle):
+    """Fit any predictor without tripping the ``fit`` deprecation shim.
+
+    GNN predictors expose the quiet engine entry point (``_fit_quiet``);
+    baselines keep a plain, non-deprecated ``fit``.
+    """
+    quiet = getattr(predictor, "_fit_quiet", None)
+    return quiet(bundle) if quiet is not None else predictor.fit(bundle)
 
 
 def _make_predictor(model: str, target: str, config: ExperimentConfig, run: int, cap_max_v: float):
@@ -326,7 +336,7 @@ def experiment_fig7(
                 "paragraph", target,
                 TrainConfig(epochs=config.epochs, run_seed=config.dataset_seed),
             )
-            predictor.fit(bundle)
+            _fit_predictor(predictor, bundle)
             truth, pred = predictor.collect(test_records)
         result.rows.append(
             {
@@ -371,7 +381,7 @@ def experiment_fig8(
             "paragraph", "CAP",
             TrainConfig(epochs=config.epochs, run_seed=config.dataset_seed, max_v=10e-15),
         )
-        predictor.fit(bundle)
+        _fit_predictor(predictor, bundle)
     result = Fig8Result()
     for record in bundle.records("test"):
         ids, embedding = predictor.embed_record(record)
@@ -434,8 +444,8 @@ def experiment_table5(
     train_cfg = TrainConfig(epochs=config.epochs, run_seed=config.dataset_seed)
 
     ensemble = train_capacitance_ensemble(bundle, config=train_cfg)
-    pg_sa = TargetPredictor("paragraph", "SA", train_cfg).fit(bundle)
-    pg_da = TargetPredictor("paragraph", "DA", train_cfg).fit(bundle)
+    pg_sa = TargetPredictor("paragraph", "SA", train_cfg)._fit_quiet(bundle)
+    pg_da = TargetPredictor("paragraph", "DA", train_cfg)._fit_quiet(bundle)
     xgb_cap = BaselinePredictor("xgb", "CAP", seed=config.dataset_seed).fit(bundle)
     xgb_sa = BaselinePredictor("xgb", "SA", seed=config.dataset_seed).fit(bundle)
     xgb_da = BaselinePredictor("xgb", "DA", seed=config.dataset_seed).fit(bundle)
@@ -522,7 +532,7 @@ def experiment_layer_sweep(
                 num_layers=depth, max_v=10e-15,
             ),
         )
-        predictor.fit(bundle)
+        _fit_predictor(predictor, bundle)
         truth, pred = predictor.collect(test_records)
         keep = truth <= 10e-15
         result.rows.append(
@@ -556,7 +566,7 @@ def experiment_attention_heads(
                 max_v=10e-15, conv_kwargs={"num_heads": n_heads},
             ),
         )
-        predictor.fit(bundle)
+        _fit_predictor(predictor, bundle)
         truth, pred = predictor.collect(test_records)
         keep = truth <= 10e-15
         result.rows.append(
@@ -593,7 +603,7 @@ def experiment_resistance(
         "linear": BaselinePredictor("linear", "RES", seed=config.dataset_seed),
     }
     for name, predictor in predictors.items():
-        predictor.fit(bundle)
+        _fit_predictor(predictor, bundle)
         truth, pred = predictor.collect(test_records)
         # RES spans decades and its largest values (longest wires) are the
         # least predictable for every model; log-space R2 measures the
@@ -629,7 +639,7 @@ def experiment_corner_robustness(
         "paragraph", "CAP",
         TrainConfig(epochs=config.epochs, run_seed=config.dataset_seed),
     )
-    predictor.fit(bundle)
+    predictor._fit_quiet(bundle)
     result = AblationResult(
         title="Corner robustness (CAP model trained at typ)"
     )
@@ -677,7 +687,7 @@ def experiment_ingredients(
                 max_v=max_v, conv_kwargs=dict(kwargs),
             ),
         )
-        predictor.fit(bundle)
+        _fit_predictor(predictor, bundle)
         truth, pred = predictor.collect(test_records)
         keep = truth <= max_v if max_v else np.ones(len(truth), bool)
         result.rows.append(

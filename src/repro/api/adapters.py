@@ -168,6 +168,82 @@ class MultiTargetAdapter:
         return out
 
 
+class MultiTaskAdapter:
+    """A shared-trunk :class:`~repro.models.MultiTaskPredictor`.
+
+    One trunk pass serves **every** requested target per merged batch —
+    the serving-side payoff of shared-trunk training.  Readouts follow the
+    same per-graph convention as :func:`_batched_forward` (exact ulp
+    parity with single-graph prediction for the readout MLP).
+    """
+
+    family = "multitask"
+
+    def __init__(self, predictor):
+        self.predictor = predictor
+
+    @property
+    def targets(self) -> tuple[str, ...]:
+        return tuple(sorted(self.predictor.target_names))
+
+    def predict_works(
+        self, works: Sequence[GraphWork], targets: Sequence[str]
+    ) -> list[dict[str, Arrays]]:
+        from repro.models.inputs import GraphInputs
+        from repro.nn import gather_rows, no_grad
+
+        _check_targets(targets, self.targets)
+        predictor = self.predictor
+        model = predictor._require_fit()
+        scaler = predictor._scaler
+        specs = [predictor._spec(target) for target in targets]
+        ids_per = [
+            [spec.node_ids(work.graph) for spec in specs] for work in works
+        ]
+        out: list[dict[str, Arrays]] = [{} for _ in works]
+        if len(works) == 1:
+            inputs = works[0].inputs_for(scaler)
+            with no_grad():
+                z = model.embed(inputs)
+                for spec, ids in zip(specs, ids_per[0]):
+                    scaled = model.heads[spec.name](z, ids).numpy().ravel()
+                    out[0][spec.name] = (
+                        ids,
+                        np.maximum(
+                            predictor.target_scalers[spec.name].inverse(scaled),
+                            0.0,
+                        ),
+                    )
+            return out
+        merged, offsets = GraphInputs.merge(
+            [work.inputs_for(scaler) for work in works]
+        )
+        with obs.span(
+            "api.batched_forward", batch=len(works), target="multitask"
+        ):
+            with no_grad():
+                z = model.embed(merged)
+                for k, offset in enumerate(offsets):
+                    for spec, ids in zip(specs, ids_per[k]):
+                        scaled = (
+                            model.heads[spec.name]
+                            .readout(gather_rows(z, ids + offset))
+                            .numpy()
+                            .ravel()
+                        )
+                        out[k][spec.name] = (
+                            ids,
+                            np.maximum(
+                                predictor.target_scalers[spec.name].inverse(
+                                    scaled
+                                ),
+                                0.0,
+                            ),
+                        )
+        obs.observe("api.forward_batch_size", len(works))
+        return out
+
+
 class EnsembleAdapter:
     """The §IV :class:`~repro.ensemble.CapacitanceEnsemble` (CAP only)."""
 
@@ -260,12 +336,15 @@ def make_adapter(model) -> ModelAdapter:
     from repro.ensemble.ensemble import CapacitanceEnsemble
     from repro.flows.training import MultiTargetModel
     from repro.models.baselines import BaselinePredictor
+    from repro.models.multitask import MultiTaskPredictor
     from repro.models.trainer import TargetPredictor
 
     if isinstance(model, TargetPredictor):
         return PredictorAdapter(model)
     if isinstance(model, MultiTargetModel):
         return MultiTargetAdapter(model)
+    if isinstance(model, MultiTaskPredictor):
+        return MultiTaskAdapter(model)
     if isinstance(model, CapacitanceEnsemble):
         return EnsembleAdapter(model)
     if isinstance(model, BaselinePredictor):
@@ -274,6 +353,6 @@ def make_adapter(model) -> ModelAdapter:
         return model  # already an adapter
     raise ApiError(
         f"cannot serve a {type(model).__name__}; expected TargetPredictor, "
-        "MultiTargetModel, CapacitanceEnsemble, BaselinePredictor or a "
-        "ModelAdapter"
+        "MultiTargetModel, MultiTaskPredictor, CapacitanceEnsemble, "
+        "BaselinePredictor or a ModelAdapter"
     )

@@ -92,7 +92,8 @@ def _runtime_from_args(args: argparse.Namespace):
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.data import build_bundle
-    from repro.models import TargetPredictor, TrainConfig
+    from repro.flows import TrainPlan, train
+    from repro.models import TrainConfig
 
     print(f"building dataset (seed={args.seed}, scale={args.scale})...")
     bundle = build_bundle(seed=args.seed, scale=args.scale)
@@ -101,11 +102,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         run_seed=args.seed,
         max_v=args.max_v,
     )
-    predictor = TargetPredictor(args.conv, args.target, config)
-    print(f"training {args.conv}/{args.target} for {args.epochs} epochs...")
-    predictor.fit(
-        bundle, runtime=_runtime_from_args(args), resume_from=args.resume_from
+    plan = TrainPlan(
+        targets=(args.target,),
+        conv=args.conv,
+        config=config,
+        batching=args.batching,
+        runtime=_runtime_from_args(args),
+        resume_from=args.resume_from,
     )
+    print(f"training {args.conv}/{args.target} for {args.epochs} epochs...")
+    predictor = train(bundle, plan).model.predictor(args.target)
     metrics = predictor.evaluate(bundle.records("test"))
     print(
         f"held-out: R2={metrics['r2']:.3f} MAE={metrics['mae']:.3e} "
@@ -118,7 +124,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_train_all(args: argparse.Namespace) -> int:
     from repro.data import ALL_TARGETS, build_bundle
-    from repro.flows import train_all_targets
+    from repro.flows import TrainPlan, train
     from repro.models import TrainConfig
 
     if args.targets.strip().lower() == "all":
@@ -128,22 +134,38 @@ def _cmd_train_all(args: argparse.Namespace) -> int:
     print(f"building dataset (seed={args.seed}, scale={args.scale})...")
     bundle = build_bundle(seed=args.seed, scale=args.scale)
     config = TrainConfig(epochs=args.epochs, run_seed=args.seed)
-    mode = (
-        f"{args.workers} worker processes" if args.workers > 1
-        else "shared-input cache"
-    )
-    print(f"training {len(names)} targets ({mode})...")
-    model = train_all_targets(
-        bundle,
-        targets=names,
+    plan = TrainPlan(
+        targets=tuple(names),
         conv=args.conv,
         config=config,
-        verbose=True,
+        trunk=args.trunk,
+        batching=args.batching,
         runtime=_runtime_from_args(args),
         parallel_workers=args.workers,
     )
-    model.save_dir(args.out_dir)
-    print(f"saved {len(model.predictors)} models to {args.out_dir}")
+    if plan.trunk == "shared":
+        mode = "shared trunk, one pass for all heads"
+    elif args.workers > 1:
+        mode = f"{args.workers} worker processes"
+    else:
+        mode = "shared-input cache"
+    print(f"training {len(names)} targets ({mode})...")
+    result = train(bundle, plan)
+    model = result.model
+    if plan.trunk == "shared":
+        for name in model.target_names:
+            metrics = model.evaluate(bundle.records("test"), name)
+            print(f"  {name}: R2={metrics['r2']:.3f}")
+        os.makedirs(args.out_dir, exist_ok=True)
+        path = os.path.join(args.out_dir, "multitask.npz")
+        model.save(path)
+        print(f"saved multitask model to {path}")
+    else:
+        for name, predictor in model.predictors.items():
+            metrics = predictor.evaluate(bundle.records("test"))
+            print(f"  {name}: R2={metrics['r2']:.3f}")
+        model.save_dir(args.out_dir)
+        print(f"saved {len(model.predictors)} models to {args.out_dir}")
     return 0
 
 
@@ -552,6 +574,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--out", default="model.npz")
     p_train.add_argument("--resume-from", default=None,
                          help="resume training from this checkpoint .npz")
+    p_train.add_argument("--batching", default="mega", choices=["mega", "graph"],
+                         help="merged-input construction (bit-identical results)")
     add_runtime_args(p_train)
     add_obs_args(p_train)
     p_train.set_defaults(func=_cmd_train)
@@ -568,8 +592,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_train_all.add_argument("--seed", type=int, default=0)
     p_train_all.add_argument("--workers", type=int, default=0,
                              help="train targets in N parallel processes (>= 2)")
+    p_train_all.add_argument("--trunk", default="per_target",
+                             choices=["per_target", "shared"],
+                             help="independent model per target, or one shared "
+                                  "trunk with per-target readout heads")
+    p_train_all.add_argument("--batching", default="mega", choices=["mega", "graph"],
+                             help="merged-input construction (bit-identical results)")
     p_train_all.add_argument("--out-dir", default="models",
-                             help="directory for the per-target .npz files")
+                             help="directory for the per-target .npz files "
+                                  "(or multitask.npz with --trunk shared)")
     add_runtime_args(p_train_all)
     add_obs_args(p_train_all)
     p_train_all.set_defaults(func=_cmd_train_all)

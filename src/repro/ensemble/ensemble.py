@@ -227,12 +227,12 @@ def train_capacitance_ensemble(
     members: list[RangeModel] = []
     for ceiling in sorted(max_vs):
         cfg = TrainConfig(**{**base.__dict__, "max_v": ceiling})
-        predictor = TargetPredictor(conv, "CAP", cfg).fit(
+        predictor = TargetPredictor(conv, "CAP", cfg)._fit_quiet(
             bundle, runtime=runtime, inputs_cache=cache
         )
         members.append(RangeModel(max_v=ceiling, predictor=predictor))
     full_cfg = TrainConfig(**{**base.__dict__, "max_v": None})
-    full = TargetPredictor(conv, "CAP", full_cfg).fit(
+    full = TargetPredictor(conv, "CAP", full_cfg)._fit_quiet(
         bundle, runtime=runtime, inputs_cache=cache
     )
     members.append(RangeModel(max_v=float("inf"), predictor=full))

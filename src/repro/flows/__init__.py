@@ -11,6 +11,9 @@ __all__ = [
     "PrelayoutReport",
     "prelayout_report",
     "MultiTargetModel",
+    "TrainPlan",
+    "TrainResult",
+    "train",
     "train_all_targets",
     "MergedInputsCache",
     "RuntimeConfig",
@@ -25,7 +28,10 @@ _EXPORTS = {
     "PrelayoutReport": "repro.flows.report",
     "prelayout_report": "repro.flows.report",
     "MultiTargetModel": "repro.flows.training",
-    "train_all_targets": "repro.flows.training",
+    "TrainPlan": "repro.flows.plan",
+    "TrainResult": "repro.flows.plan",
+    "train": "repro.flows.plan",
+    "train_all_targets": "repro.flows.compat",
     "MergedInputsCache": "repro.flows.runtime",
     "RuntimeConfig": "repro.flows.runtime",
     "TrainCallback": "repro.flows.runtime",

@@ -1,0 +1,57 @@
+"""Deprecation shims for the pre-``TrainPlan`` training entry points.
+
+Same contract as :mod:`repro.api.compat` (which supplies the warn-once
+machinery): each legacy call pattern keeps working, emits one
+:class:`DeprecationWarning` per process naming its replacement, and
+produces **bit-identical** models and checkpoints by routing through the
+:class:`~repro.flows.plan.TrainPlan` engine rather than a forked code
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.api.compat import (  # noqa: F401 - re-exported warn machinery
+    reset_deprecation_warnings,
+    warn_deprecated,
+)
+
+
+def train_all_targets(
+    bundle,
+    targets: Iterable[str] | None = None,
+    conv: str = "paragraph",
+    config=None,
+    verbose: bool = False,
+    runtime=None,
+    inputs_cache=None,
+    parallel_workers: int = 0,
+):
+    """Deprecated: use ``repro.flows.train(bundle, TrainPlan(...))``.
+
+    Trains one predictor per target name (defaults to the 13 paper
+    targets) and returns a
+    :class:`~repro.flows.training.MultiTargetModel`, exactly as the
+    historical function did — the body is now a :class:`TrainPlan`
+    translation, so results are bit-identical to :func:`repro.flows.train`.
+    """
+    warn_deprecated(
+        "train_all_targets",
+        "repro.flows.train(bundle, TrainPlan(targets=..., conv=..., ...))",
+    )
+    from repro.flows.plan import TrainPlan, train
+
+    plan = TrainPlan(
+        targets=tuple(targets) if targets is not None else None,
+        conv=conv,
+        config=config,
+        runtime=runtime,
+        parallel_workers=parallel_workers,
+    )
+    model = train(bundle, plan, inputs_cache=inputs_cache).model
+    if verbose:
+        for name, predictor in model.predictors.items():
+            metrics = predictor.evaluate(bundle.records("test"))
+            print(f"  {name}: R2={metrics['r2']:.3f}")
+    return model

@@ -1,22 +1,24 @@
-"""Multi-target training: the full ParaGraph model suite in one call.
+"""The multi-target model container and per-target worker entry point.
 
 The paper trains an independent model per target (13 paper targets + the
-RES extension).  :func:`train_all_targets` drives that loop and returns a
-:class:`MultiTargetModel` that predicts everything for a schematic at once —
-the object a designer would actually hold.
+RES extension).  :class:`MultiTargetModel` is the object a designer
+actually holds — it predicts everything for a schematic at once.  The
+driving loop lives in :func:`repro.flows.train` (a :class:`TrainPlan`
+consumer); the historical :func:`train_all_targets` survives as a
+warn-once shim in :mod:`repro.flows.compat`, re-exported here for
+existing imports.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.circuits.netlist import Circuit
-from repro.data import ALL_TARGETS, DatasetBundle
+from repro.data import DatasetBundle
 from repro.errors import ModelError
-from repro.flows.runtime import MergedInputsCache, RuntimeConfig
+from repro.flows.compat import train_all_targets  # noqa: F401 - legacy import path
+from repro.flows.runtime import RuntimeConfig
 from repro.models.trainer import TargetPredictor, TrainConfig
 
 
@@ -70,58 +72,10 @@ class MultiTargetModel:
 
 
 def _train_target_job(
-    job: tuple[str, str, TrainConfig, DatasetBundle, RuntimeConfig | None],
+    job: tuple[str, str, TrainConfig, DatasetBundle, RuntimeConfig | None, str],
 ) -> TargetPredictor:
     """Worker entry point for process-parallel training (must be picklable)."""
-    conv, name, cfg, bundle, runtime = job
-    return TargetPredictor(conv, name, cfg).fit(bundle, runtime=runtime)
-
-
-def train_all_targets(
-    bundle: DatasetBundle,
-    targets: Iterable[str] | None = None,
-    conv: str = "paragraph",
-    config: TrainConfig | None = None,
-    verbose: bool = False,
-    runtime: RuntimeConfig | None = None,
-    inputs_cache: MergedInputsCache | None = None,
-    parallel_workers: int = 0,
-) -> MultiTargetModel:
-    """Train one predictor per target name (defaults to the 13 paper targets).
-
-    All targets share one merged training graph, so the serial path (the
-    default) builds the merged :class:`GraphInputs` exactly once through a
-    shared :class:`MergedInputsCache` instead of once per target.  With
-    ``parallel_workers >= 2`` the per-target loops run in a process pool
-    instead; each worker rebuilds its own inputs, trading the shared cache
-    for multi-core training.  Both paths use the same per-target seeds, so
-    results are identical.  ``runtime`` (callbacks must be picklable for
-    the parallel path) applies to every per-target ``fit``.
-    """
-    names = list(targets) if targets is not None else [t.name for t in ALL_TARGETS]
-    base = config or TrainConfig(epochs=60)
-    jobs = []
-    for name in names:
-        cfg_kwargs = dict(base.__dict__)
-        if name != "CAP":
-            cfg_kwargs["max_v"] = None
-        jobs.append((conv, name, TrainConfig(**cfg_kwargs), bundle, runtime))
-
-    model = MultiTargetModel()
-    if parallel_workers and parallel_workers > 1:
-        with ProcessPoolExecutor(max_workers=parallel_workers) as pool:
-            fitted = list(pool.map(_train_target_job, jobs))
-        for (_, name, *_), predictor in zip(jobs, fitted):
-            model.predictors[name] = predictor
-    else:
-        cache = inputs_cache if inputs_cache is not None else MergedInputsCache()
-        for _, name, cfg, _, _ in jobs:
-            predictor = TargetPredictor(conv, name, cfg).fit(
-                bundle, runtime=runtime, inputs_cache=cache
-            )
-            model.predictors[name] = predictor
-    if verbose:
-        for name, predictor in model.predictors.items():
-            metrics = predictor.evaluate(bundle.records("test"))
-            print(f"  {name}: R2={metrics['r2']:.3f}")
-    return model
+    conv, name, cfg, bundle, runtime, batching = job
+    return TargetPredictor(conv, name, cfg)._fit_quiet(
+        bundle, runtime=runtime, batching=batching
+    )

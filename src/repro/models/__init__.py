@@ -13,8 +13,14 @@ from repro.models.convs import (
 )
 from repro.models.encoder import NodeTypeEncoder
 from repro.models.gbdt import GradientBoostedTrees, RegressionTree
-from repro.models.inputs import GraphInputs
+from repro.models.inputs import GraphInputs, MegaBatch
 from repro.models.linreg import RidgeRegression
+from repro.models.multitask import (
+    MultiTaskModel,
+    MultiTaskPredictor,
+    ReadoutHead,
+    SharedTrunk,
+)
 from repro.models.trainer import TargetPredictor, TrainConfig, TrainHistory
 from repro.models.uncertainty import SeedEnsemblePredictor, UncertainPrediction
 
@@ -33,6 +39,11 @@ __all__ = [
     "GradientBoostedTrees",
     "RegressionTree",
     "GraphInputs",
+    "MegaBatch",
+    "MultiTaskModel",
+    "MultiTaskPredictor",
+    "ReadoutHead",
+    "SharedTrunk",
     "RidgeRegression",
     "TargetPredictor",
     "TrainConfig",

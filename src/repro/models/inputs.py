@@ -85,45 +85,105 @@ class GraphInputs:
         node-id offset of graph ``k``.  The graphs stay disjoint components,
         so a forward pass over the merged inputs produces bit-identical
         per-node outputs to running each graph alone — this is the batched
-        inference path of :class:`repro.api.Engine`.
+        inference path of :class:`repro.api.Engine`.  Thin wrapper over
+        :meth:`merge_graphs`, kept for the established call sites.
+        """
+        batch = cls.merge_graphs(inputs)
+        return batch.inputs, batch.offsets
+
+    @classmethod
+    def merge_graphs(cls, inputs: "list[GraphInputs]") -> "MegaBatch":
+        """Disjoint-union many graphs into one mega-batch.
+
+        Node ids of graph ``k`` are shifted by ``offsets[k]``; per-type
+        feature matrices, node-id lists and COO edge arrays are concatenated
+        in graph order; the homogenised edge list is rebuilt **type-major**
+        (all edges of the lexicographically first type across every graph,
+        then the next type, ...), matching exactly what
+        :meth:`from_graph` produces for a pre-merged
+        :class:`~repro.graph.hetero.HeteroGraph` — so a mega-batch built
+        from per-graph inputs is bit-identical, arrays and plans both, to
+        one built from a graph-level merge.
+
+        Because the shifted node-id ranges ascend with graph order, every
+        per-edge-type and node-type :class:`~repro.nn.plan.SegmentPlan` of
+        the union is the :meth:`SegmentPlan.concat` of the per-graph plans:
+        the merged cache is pre-seeded from the (memoised) per-graph plans,
+        so repeated batching of cached graphs never re-sorts an edge list.
         """
         if not inputs:
-            raise ValueError("GraphInputs.merge needs at least one graph")
+            raise ValueError("GraphInputs.merge_graphs needs at least one graph")
+        sizes = np.asarray([item.num_nodes for item in inputs], dtype=np.int64)
         if len(inputs) == 1:
-            return inputs[0], np.zeros(1, dtype=np.int64)
+            return MegaBatch(
+                inputs=inputs[0], offsets=np.zeros(1, dtype=np.int64), sizes=sizes
+            )
         offsets = np.cumsum([0] + [item.num_nodes for item in inputs[:-1]])
+        num_nodes = int(offsets[-1] + inputs[-1].num_nodes)
         features: dict[str, list[np.ndarray]] = {}
         nodes_of_type: dict[str, list[np.ndarray]] = {}
         edges: dict[str, tuple[list[np.ndarray], list[np.ndarray]]] = {}
-        merged_src, merged_dst = [], []
+        #: per edge/node type: the items contributing arrays, with offsets
+        edge_parts: dict[str, list[tuple["GraphInputs", int]]] = {}
+        type_parts: dict[str, list[tuple["GraphInputs", int]]] = {}
         for item, offset in zip(inputs, offsets):
             for type_name, feats in item.features.items():
                 features.setdefault(type_name, []).append(feats)
                 nodes_of_type.setdefault(type_name, []).append(
                     item.nodes_of_type[type_name] + offset
                 )
+                type_parts.setdefault(type_name, []).append((item, int(offset)))
             for edge_type, (src, dst) in item.edges.items():
                 srcs, dsts = edges.setdefault(edge_type, ([], []))
                 srcs.append(src + offset)
                 dsts.append(dst + offset)
-            merged_src.append(item.merged_src + offset)
-            merged_dst.append(item.merged_dst + offset)
-        return (
-            cls(
-                num_nodes=int(offsets[-1] + inputs[-1].num_nodes),
-                features={t: np.concatenate(f, axis=0) for t, f in features.items()},
-                nodes_of_type={
-                    t: np.concatenate(n) for t, n in nodes_of_type.items()
-                },
-                edges={
-                    t: (np.concatenate(s), np.concatenate(d))
-                    for t, (s, d) in edges.items()
-                },
-                merged_src=np.concatenate(merged_src),
-                merged_dst=np.concatenate(merged_dst),
-            ),
-            offsets,
+                edge_parts.setdefault(edge_type, []).append((item, int(offset)))
+        merged_edges = {
+            t: (np.concatenate(s), np.concatenate(d))
+            for t, (s, d) in edges.items()
+        }
+        if merged_edges:
+            # type-major, like from_graph over HeteroGraph.edge_types
+            merged_src = np.concatenate(
+                [merged_edges[et][0] for et in sorted(merged_edges)]
+            )
+            merged_dst = np.concatenate(
+                [merged_edges[et][1] for et in sorted(merged_edges)]
+            )
+        else:
+            merged_src = np.empty(0, dtype=np.int64)
+            merged_dst = np.empty(0, dtype=np.int64)
+        merged = cls(
+            num_nodes=num_nodes,
+            features={t: np.concatenate(f, axis=0) for t, f in features.items()},
+            nodes_of_type={t: np.concatenate(n) for t, n in nodes_of_type.items()},
+            edges=merged_edges,
+            merged_src=merged_src,
+            merged_dst=merged_dst,
         )
+        # Pre-seed the union's plan cache from the per-graph plans.  The
+        # per-graph calls memoise on each item, so batch after batch of the
+        # same cached graphs pays for each argsort exactly once.
+        for edge_type, parts in edge_parts.items():
+            merged._cache[("edge_src_plan", edge_type)] = SegmentPlan.concat(
+                [item.edge_plans(edge_type)[0] for item, _ in parts],
+                np.asarray([offset for _, offset in parts], dtype=np.int64),
+                num_nodes,
+            )
+            merged._cache[("edge_dst_plan", edge_type)] = SegmentPlan.concat(
+                [item.edge_plans(edge_type)[1] for item, _ in parts],
+                np.asarray([offset for _, offset in parts], dtype=np.int64),
+                num_nodes,
+            )
+        merged._cache["node_type_plans"] = {
+            type_name: SegmentPlan.concat(
+                [item.node_type_plans()[type_name] for item, _ in parts],
+                np.asarray([offset for _, offset in parts], dtype=np.int64),
+                num_nodes,
+            )
+            for type_name, parts in type_parts.items()
+        }
+        return MegaBatch(inputs=merged, offsets=offsets, sizes=sizes)
 
     # ------------------------------------------------------------------
     # Cached graph compute plan
@@ -232,3 +292,38 @@ class GraphInputs:
             return dst_plan.inverse_counts(dtype)
 
         return self._cached(("edge_inv_counts", edge_type, dtype), build)
+
+
+@dataclass
+class MegaBatch:
+    """A disjoint union of many graphs, ready for one shared forward pass.
+
+    Produced by :meth:`GraphInputs.merge_graphs`.  ``inputs`` is the merged
+    :class:`GraphInputs` (plan cache pre-seeded); ``offsets[k]`` /
+    ``sizes[k]`` give graph ``k``'s global node-id offset and node count.
+    """
+
+    inputs: GraphInputs
+    offsets: np.ndarray  #: (G,) int64 node-id offset per graph
+    sizes: np.ndarray  #: (G,) int64 node count per graph
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.offsets)
+
+    def graph_of_node(self) -> np.ndarray:
+        """Per-graph readout segments: merged node id -> graph index."""
+        segments = self._cache.get("graph_of_node")
+        if segments is None:
+            segments = np.repeat(
+                np.arange(self.num_graphs, dtype=np.int64), self.sizes
+            )
+            self._cache["graph_of_node"] = segments
+        return segments
+
+    def global_ids(self, graph_index: int, node_ids: np.ndarray) -> np.ndarray:
+        """Shift one graph's local node ids into the merged id space."""
+        return np.asarray(node_ids, dtype=np.int64) + int(
+            self.offsets[graph_index]
+        )

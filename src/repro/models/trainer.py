@@ -101,19 +101,56 @@ class TrainHistory:
         return self.losses[-1] if self.losses else float("nan")
 
 
+def resolve_target_scaler(
+    spec: TargetSpec, values: np.ndarray, cfg: TrainConfig
+) -> tuple[TargetScaler, int]:
+    """(target scaler, paper-default readout depth) for one target.
+
+    Shared by the per-target trainer and the multi-task trunk trainer so
+    both scale identically — the §IV ensemble semantics (CAP linear with a
+    ``max_v`` ceiling) and the log-space device targets live here.
+    """
+    if spec.name == "CAP":
+        # CAP must train linearly: the §IV ensemble phenomenon (Fig. 5)
+        # depends on small values drowning in a full-range model's error.
+        scale = cfg.max_v if cfg.max_v is not None else float(values.max())
+        return TargetScaler(scale), 4
+    if spec.kind == "net":
+        # other net targets (RES extension) span decades with no
+        # ensemble semantics: log space keeps small nets accurate
+        return log_scaler_from_values(values), 4
+    if cfg.log_device_targets:
+        return log_scaler_from_values(values), 2
+    return scaler_from_std(values), 2
+
+
 def _merged_inputs(
-    records: list[CircuitRecord], bundle: DatasetBundle, spec: TargetSpec
+    records: list[CircuitRecord],
+    bundle: DatasetBundle,
+    spec: TargetSpec,
+    batching: str = "mega",
 ) -> tuple[GraphInputs, np.ndarray, np.ndarray]:
-    """Merged GraphInputs + target ids/values with node-id offsets applied."""
-    merged = merge_graphs([record.graph for record in records])
-    inputs = GraphInputs.from_graph(merged, bundle.scaler)
+    """Merged GraphInputs + target ids/values with node-id offsets applied.
+
+    ``batching="mega"`` disjoint-unions per-record :class:`GraphInputs`
+    (stitched segment plans, no re-sort); ``"graph"`` merges the
+    :class:`HeteroGraph` objects first (legacy path).  Both are
+    bit-identical.
+    """
+    if batching == "mega":
+        batch = GraphInputs.merge_graphs(
+            [GraphInputs.from_record(record, bundle.scaler) for record in records]
+        )
+        inputs, offsets = batch.inputs, batch.offsets
+    else:
+        merged = merge_graphs([record.graph for record in records])
+        inputs = GraphInputs.from_graph(merged, bundle.scaler)
+        offsets = np.cumsum([0] + [r.graph.num_nodes for r in records[:-1]])
     ids, values = [], []
-    offset = 0
-    for record in records:
+    for record, offset in zip(records, offsets):
         node_ids, vals = record.target_arrays(spec)
-        ids.append(node_ids + offset)
+        ids.append(node_ids + int(offset))
         values.append(vals)
-        offset += record.graph.num_nodes
     return inputs, np.concatenate(ids), np.concatenate(values)
 
 
@@ -154,7 +191,49 @@ class TargetPredictor:
         inputs_cache: MergedInputsCache | None = None,
         resume_from: str | os.PathLike | None = None,
     ) -> "TargetPredictor":
+        """Deprecated: train via :func:`repro.flows.train` instead.
+
+        Routes through the :class:`~repro.flows.plan.TrainPlan` engine with
+        this predictor injected, so the resulting weights, history and
+        checkpoints are bit-identical to the historical direct ``fit``.
+        Emits a :class:`DeprecationWarning` once per process.
+        """
+        from repro.api.compat import warn_deprecated
+
+        warn_deprecated(
+            "TargetPredictor.fit",
+            "repro.flows.train(bundle, TrainPlan(targets=[...], ...))",
+        )
+        from repro.flows.plan import TrainPlan, _train_with_predictors
+
+        plan = TrainPlan(
+            targets=(self.spec.name,),
+            conv=self.conv,
+            config=self.config,
+            runtime=runtime,
+            resume_from=os.fspath(resume_from) if resume_from is not None else None,
+        )
+        _train_with_predictors(
+            bundle,
+            plan,
+            inputs_cache=inputs_cache,
+            predictors={self.spec.name: self},
+        )
+        return self
+
+    def _fit_quiet(
+        self,
+        bundle: DatasetBundle,
+        *,
+        runtime: RuntimeConfig | None = None,
+        inputs_cache: MergedInputsCache | None = None,
+        resume_from: str | os.PathLike | None = None,
+        batching: str = "mega",
+    ) -> "TargetPredictor":
         """Train on the bundle's train split; returns self.
+
+        The non-deprecated engine entry point — :func:`repro.flows.train`
+        lands here for every per-target job.
 
         Parameters
         ----------
@@ -167,10 +246,14 @@ class TargetPredictor:
             train on the same bundle this avoids re-merging the training
             graphs per target.
         resume_from:
-            Path of a checkpoint written by a previous ``fit`` of the same
+            Path of a checkpoint written by a previous fit of the same
             conv/target; training continues from its epoch counter with the
             exact optimizer state, reproducing the uninterrupted run
             bit-for-bit.
+        batching:
+            Merged-input construction mode: ``"mega"`` disjoint-unions
+            per-graph :class:`GraphInputs` (stitched plans), ``"graph"``
+            merges the hetero graphs first.  Bit-identical outputs.
         """
         with obs.span("train.fit", conv=self.conv, target=self.spec.name):
             with precision.compute_dtype(self.config.dtype):
@@ -179,6 +262,7 @@ class TargetPredictor:
                     runtime=runtime,
                     inputs_cache=inputs_cache,
                     resume_from=resume_from,
+                    batching=batching,
                 )
 
     def _fit(
@@ -188,6 +272,7 @@ class TargetPredictor:
         runtime: RuntimeConfig | None,
         inputs_cache: MergedInputsCache | None,
         resume_from: str | os.PathLike | None,
+        batching: str = "mega",
     ) -> "TargetPredictor":
         cfg = self.config
         rt = runtime or RuntimeConfig()
@@ -203,10 +288,12 @@ class TargetPredictor:
         with obs.span("train.inputs", target=self.spec.name):
             if inputs_cache is not None:
                 inputs, ids, values = inputs_cache.merged_target(
-                    records, bundle.scaler, self.spec
+                    records, bundle.scaler, self.spec, batching
                 )
             else:
-                inputs, ids, values = _merged_inputs(records, bundle, self.spec)
+                inputs, ids, values = _merged_inputs(
+                    records, bundle, self.spec, batching
+                )
         if len(ids) == 0:
             raise ModelError(f"no training samples for target {self.spec.name}")
 
@@ -221,23 +308,9 @@ class TargetPredictor:
 
         # An explicit num_fc_layers (including 0 = linear readout) is always
         # honoured; only None falls back to the paper depths.
-        if self.spec.name == "CAP":
-            # CAP must train linearly: the SIV ensemble phenomenon (Fig. 5)
-            # depends on small values drowning in a full-range model's error.
-            scale = cfg.max_v if cfg.max_v is not None else float(values.max())
-            self.target_scaler = TargetScaler(scale)
-            default_fc = 4
-        elif self.spec.kind == "net":
-            # other net targets (RES extension) span decades with no
-            # ensemble semantics: log space keeps small nets accurate
-            self.target_scaler = log_scaler_from_values(values)
-            default_fc = 4
-        elif cfg.log_device_targets:
-            self.target_scaler = log_scaler_from_values(values)
-            default_fc = 2
-        else:
-            self.target_scaler = scaler_from_std(values)
-            default_fc = 2
+        self.target_scaler, default_fc = resolve_target_scaler(
+            self.spec, values, cfg
+        )
         fc_layers = cfg.num_fc_layers if cfg.num_fc_layers is not None else default_fc
         conv_kwargs = cfg.conv_kwargs if cfg.conv_kwargs is not None else {}
         self._fc_layers = fc_layers

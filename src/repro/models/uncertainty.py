@@ -57,7 +57,7 @@ class SeedEnsemblePredictor:
                 **{**self.config.__dict__, "run_seed": self.config.run_seed + index}
             )
             member = TargetPredictor(self.conv, self.target, cfg)
-            member.fit(bundle)
+            member._fit_quiet(bundle)
             self.members.append(member)
         return self
 

@@ -98,6 +98,67 @@ class SegmentPlan:
             counts=counts,
         )
 
+    @classmethod
+    def concat(
+        cls,
+        plans: "list[SegmentPlan]",
+        segment_offsets: np.ndarray,
+        num_segments: int,
+    ) -> "SegmentPlan":
+        """Stitch per-graph plans into one disjoint-union plan, bitwise.
+
+        ``plans[k]`` must cover segment range ``[segment_offsets[k],
+        segment_offsets[k] + plans[k].num_segments)`` of the merged
+        segmentation, and those ranges must be ascending and disjoint (the
+        node-id ranges of a disjoint graph union).  Under that layout the
+        stable argsort of the concatenated shifted segment ids is exactly
+        the concatenation of the per-plan stable orders plus item offsets,
+        so the merged plan — and therefore every reduction run through it —
+        is bit-identical to ``SegmentPlan.build`` on the concatenated ids,
+        without re-sorting anything.
+        """
+        if len(plans) != len(segment_offsets):
+            raise ShapeError(
+                f"{len(plans)} plans but {len(segment_offsets)} segment offsets"
+            )
+        previous_end = 0
+        for plan, offset in zip(plans, segment_offsets):
+            offset = int(offset)
+            if offset < previous_end:
+                raise ShapeError(
+                    "segment ranges must be ascending and disjoint; "
+                    f"offset {offset} overlaps the previous range "
+                    f"ending at {previous_end}"
+                )
+            previous_end = offset + plan.num_segments
+        if previous_end > num_segments:
+            raise ShapeError(
+                f"plans cover segments up to {previous_end}, outside "
+                f"[0, {num_segments})"
+            )
+        if not plans:
+            return cls.build(np.empty(0, dtype=np.int64), num_segments)
+        item_offsets = np.cumsum([0] + [plan.num_items for plan in plans[:-1]])
+        counts = np.zeros(num_segments, dtype=plans[0].counts.dtype)
+        for plan, offset in zip(plans, segment_offsets):
+            counts[int(offset):int(offset) + plan.num_segments] = plan.counts
+        return cls(
+            segment_ids=np.concatenate(
+                [plan.segment_ids + int(s) for plan, s in zip(plans, segment_offsets)]
+            ),
+            num_segments=int(num_segments),
+            order=np.concatenate(
+                [plan.order + int(i) for plan, i in zip(plans, item_offsets)]
+            ),
+            starts=np.concatenate(
+                [plan.starts + int(i) for plan, i in zip(plans, item_offsets)]
+            ),
+            present=np.concatenate(
+                [plan.present + int(s) for plan, s in zip(plans, segment_offsets)]
+            ),
+            counts=counts,
+        )
+
     # ------------------------------------------------------------------
     @property
     def num_items(self) -> int:

@@ -17,7 +17,6 @@ when collection is enabled.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
@@ -33,49 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.models.inputs import GraphInputs
 
 
-def circuit_fingerprint(circuit: "Circuit") -> str:
-    """Stable content hash of a circuit (name, nets, instances, params).
-
-    Two circuits that serialise identically — e.g. the same netlist parsed
-    twice — share a fingerprint; any change to connectivity or device
-    parameters changes it.
-    """
-    hasher = hashlib.sha256()
-    hasher.update(circuit.name.encode())
-    hasher.update(b"|ports|")
-    for port in circuit.ports:
-        hasher.update(port.encode() + b";")
-    hasher.update(b"|nets|")
-    for net in sorted(net.name for net in circuit.nets()):
-        hasher.update(net.encode() + b";")
-    hasher.update(b"|instances|")
-    for name in sorted(inst.name for inst in circuit.instances()):
-        inst = circuit.instance(name)
-        hasher.update(f"{inst.name}:{inst.device_type}".encode())
-        for terminal in sorted(inst.conns):
-            hasher.update(f"|{terminal}={inst.conns[terminal]}".encode())
-        for param in sorted(inst.params):
-            hasher.update(f"|{param}={inst.params[param]!r}".encode())
-        hasher.update(b";")
-    return hasher.hexdigest()
-
-
-def scaler_fingerprint(scaler: "FeatureScaler") -> str:
-    """Content hash of a fitted feature scaler (memoised on the object)."""
-    cached = getattr(scaler, "_content_fingerprint", None)
-    if cached is not None:
-        return cached
-    hasher = hashlib.sha256()
-    for type_name in sorted(scaler.means):
-        hasher.update(type_name.encode())
-        hasher.update(scaler.means[type_name].tobytes())
-        hasher.update(scaler.stds[type_name].tobytes())
-    digest = hasher.hexdigest()
-    try:
-        scaler._content_fingerprint = digest
-    except AttributeError:  # exotic scaler without a __dict__: recompute
-        pass
-    return digest
+# Fingerprints moved to repro.data.fingerprint (the training-side
+# MergedInputsCache keys on them too); re-exported here because they are
+# part of the repro.serve surface.
+from repro.data.fingerprint import (  # noqa: F401
+    circuit_fingerprint,
+    scaler_fingerprint,
+)
 
 
 def arrays_nbytes(obj, _seen: set | None = None, _depth: int = 0) -> int:

@@ -58,10 +58,23 @@ def load_model(path: str | os.PathLike):
     """Load whichever model family is saved at *path* (sniffed by shape)."""
     from repro.ensemble.ensemble import CapacitanceEnsemble
     from repro.flows.training import MultiTargetModel
+    from repro.models.multitask import MultiTaskPredictor
     from repro.models.trainer import TargetPredictor
 
     path = os.fspath(path)
     if os.path.isfile(path):
+        import json
+
+        import numpy as np
+
+        with np.load(path) as archive:
+            meta = (
+                json.loads(str(archive["meta"]))
+                if "meta" in archive.files
+                else {}
+            )
+        if meta.get("target") == "multitask":
+            return MultiTaskPredictor.load(path)
         return TargetPredictor.load(path)
     if os.path.isdir(path):
         if os.path.exists(os.path.join(path, "ensemble.json")):

@@ -8,6 +8,8 @@ import inspect
 
 import repro
 import repro.api
+import repro.flows
+import repro.models
 import repro.serve
 
 API_SURFACE = [
@@ -57,6 +59,51 @@ SERVE_SURFACE = [
     "scaler_fingerprint",
 ]
 
+FLOWS_SURFACE = [
+    "ConsoleProgressReporter",
+    "JsonlMetricsWriter",
+    "MergedInputsCache",
+    "MultiTargetModel",
+    "PrelayoutReport",
+    "RuntimeConfig",
+    "TrainCallback",
+    "TrainPlan",
+    "TrainResult",
+    "load_checkpoint",
+    "prelayout_report",
+    "save_checkpoint",
+    "train",
+    "train_all_targets",
+]
+
+MODELS_SURFACE = [
+    "BaselinePredictor",
+    "GATConv",
+    "GCNConv",
+    "GNNRegressor",
+    "GNN_MODEL_NAMES",
+    "GradientBoostedTrees",
+    "GraphInputs",
+    "MegaBatch",
+    "MultiTaskModel",
+    "MultiTaskPredictor",
+    "NodeTypeEncoder",
+    "ParaGraphConv",
+    "RGCNConv",
+    "ReadoutHead",
+    "RegressionTree",
+    "RidgeRegression",
+    "SageConv",
+    "SeedEnsemblePredictor",
+    "SharedTrunk",
+    "TargetPredictor",
+    "TrainConfig",
+    "TrainHistory",
+    "UncertainPrediction",
+    "baseline_features",
+    "make_conv",
+]
+
 TOP_LEVEL_SURFACE = [
     "ApiError",
     "BatchExecutor",
@@ -90,19 +137,30 @@ class TestSurfaceSnapshot:
     def test_top_level_all(self):
         assert sorted(repro.__all__) == TOP_LEVEL_SURFACE
 
+    def test_flows_all(self):
+        assert sorted(repro.flows.__all__) == FLOWS_SURFACE
+
+    def test_flows_lazy_table_matches_all(self):
+        # PEP 562 lazy exports: every __all__ name must have a loader entry
+        # and vice versa, or imports break only at attribute-access time.
+        assert sorted(repro.flows._EXPORTS) == sorted(repro.flows.__all__)
+
+    def test_models_all(self):
+        assert sorted(repro.models.__all__) == MODELS_SURFACE
+
     def test_every_exported_name_resolves(self):
-        for module in (repro, repro.api, repro.serve):
+        for module in (repro, repro.api, repro.flows, repro.models, repro.serve):
             for name in module.__all__:
                 assert getattr(module, name) is not None, (module.__name__, name)
 
     def test_dir_covers_all(self):
-        for module in (repro, repro.api, repro.serve):
+        for module in (repro, repro.api, repro.flows, repro.models, repro.serve):
             assert set(module.__all__) <= set(dir(module))
 
     def test_unknown_attribute_raises(self):
         import pytest
 
-        for module in (repro, repro.api, repro.serve):
+        for module in (repro, repro.api, repro.flows, repro.serve):
             with pytest.raises(AttributeError):
                 module.does_not_exist
 
@@ -149,4 +207,18 @@ class TestSignatureSnapshot:
         names = [f.name for f in dataclasses.fields(repro.api.EngineConfig)]
         assert names == [
             "cache_size", "max_batch", "queue_depth", "workers", "timeout_s",
+        ]
+
+    def test_flows_train(self):
+        assert self._params(repro.flows.train) == [
+            "bundle", "plan", "inputs_cache",
+        ]
+
+    def test_train_plan_fields(self):
+        import dataclasses
+
+        names = [f.name for f in dataclasses.fields(repro.flows.TrainPlan)]
+        assert names == [
+            "targets", "conv", "config", "trunk", "batching",
+            "loss_weights", "runtime", "parallel_workers", "resume_from",
         ]

@@ -28,16 +28,18 @@ def _quick_config(**kwargs):
 
 class TestMergedInputsCache:
     def test_multi_target_training_merges_once(self, tiny_bundle, monkeypatch):
-        import repro.flows.runtime as runtime_mod
+        from repro.models.inputs import GraphInputs
 
         calls = {"merge": 0}
-        real_merge = runtime_mod.merge_graphs
+        real_merge = GraphInputs.merge_graphs.__func__
 
-        def counting_merge(graphs):
+        def counting_merge(cls, items):
             calls["merge"] += 1
-            return real_merge(graphs)
+            return real_merge(cls, items)
 
-        monkeypatch.setattr(runtime_mod, "merge_graphs", counting_merge)
+        monkeypatch.setattr(
+            GraphInputs, "merge_graphs", classmethod(counting_merge)
+        )
         cache = MergedInputsCache()
         train_all_targets(
             tiny_bundle,

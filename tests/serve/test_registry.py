@@ -31,6 +31,21 @@ class TestLoadModel:
         assert isinstance(load_model(model_root / "multi"), MultiTargetModel)
         assert isinstance(load_model(model_root / "ens"), CapacitanceEnsemble)
 
+    def test_sniffs_multitask_npz(self, tiny_bundle, tmp_path):
+        from repro.models import MultiTaskPredictor, TrainConfig
+
+        fitted = MultiTaskPredictor(
+            "paragraph",
+            targets=["CAP", "SA"],
+            config=TrainConfig(epochs=2, embed_dim=8, num_layers=2),
+        )._fit_quiet(tiny_bundle)
+        fitted.save(tmp_path / "multitask.npz")
+        loaded = load_model(tmp_path / "multitask.npz")
+        assert isinstance(loaded, MultiTaskPredictor)
+        record = tiny_bundle.records("test")[0]
+        result = predict_one(loaded, record.circuit)
+        assert set(result.targets) == {"CAP", "SA"}
+
     def test_rejects_junk(self, tmp_path):
         with pytest.raises(ApiError, match="no loadable model"):
             load_model(tmp_path / "missing")
