@@ -61,6 +61,12 @@ def representative_seconds(payload: dict) -> float | None:
     return None
 
 
+def is_cpu_limited(payload: dict) -> bool:
+    """True when the artifact records a core-starved (advisory) run."""
+    metrics = payload.get("metrics")
+    return isinstance(metrics, dict) and metrics.get("cpu_limited") is True
+
+
 def check(baseline_dir: str | None, fresh_dir: str, max_drift: float) -> int:
     fresh_files = sorted(
         f for f in os.listdir(fresh_dir) if f.endswith(".json")
@@ -69,6 +75,7 @@ def check(baseline_dir: str | None, fresh_dir: str, max_drift: float) -> int:
         print(f"ERROR: no result JSON files in {fresh_dir}", file=sys.stderr)
         return 1
     failures = []
+    advisories = []
     for filename in fresh_files:
         fresh_path = os.path.join(fresh_dir, filename)
         payload, errors = validate_file(fresh_path)
@@ -77,6 +84,11 @@ def check(baseline_dir: str | None, fresh_dir: str, max_drift: float) -> int:
             continue
         seconds = representative_seconds(payload)
         line = f"{payload['name']}: {seconds:.6f}s" if seconds else payload["name"]
+        # timing from a core-starved run says nothing about the code:
+        # schema still gates, drift only warns
+        advisory = is_cpu_limited(payload)
+        if advisory:
+            line += " [cpu-limited, timing advisory]"
         if baseline_dir:
             base_path = os.path.join(baseline_dir, filename)
             if not os.path.exists(base_path):
@@ -91,14 +103,22 @@ def check(baseline_dir: str | None, fresh_dir: str, max_drift: float) -> int:
                 drift = seconds / base_seconds
                 print(f"{line} (baseline {base_seconds:.6f}s, {drift:.2f}x)")
                 if drift > max_drift:
-                    failures.append(
+                    message = (
                         f"{filename}: {drift:.1f}x slower than baseline "
                         f"(limit {max_drift}x)"
                     )
+                    if advisory:
+                        advisories.append(message)
+                    else:
+                        failures.append(message)
             else:
                 print(f"{line} (no comparable timings)")
         else:
             print(line)
+    if advisories:
+        print("\nADVISORY (cpu-limited runs):", file=sys.stderr)
+        for advisory in advisories:
+            print(f"  - {advisory}", file=sys.stderr)
     if failures:
         print("\nFAILURES:", file=sys.stderr)
         for failure in failures:

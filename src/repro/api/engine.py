@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.api.adapters import GraphWork, make_adapter
+from repro.nn import backend as nn_backend
+from repro.nn import precision
 from repro.api.types import (
     ModelProvenance,
     PredictionRequest,
@@ -43,13 +45,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Engine sizing knobs (cache capacity + micro-batching executor)."""
+    """Engine sizing knobs (cache capacity + micro-batching executor).
+
+    ``dtype`` is the *serving* compute precision: model weights are cast
+    to it at load and every forward runs under it.  The default is
+    ``float32`` — roughly half the memory traffic of float64 at a ~1e-6
+    relative output tolerance (see ``docs/performance.md``); pass
+    ``"float64"`` to recover the historical bit-exact behaviour.
+    ``backend`` selects the :mod:`repro.nn.backend` kernel backend for
+    forwards (``None`` inherits the process default / ``REPRO_BACKEND``).
+    """
 
     cache_size: int = 256
     max_batch: int = 16
     queue_depth: int = 128
     workers: int = 2
     timeout_s: float | None = None
+    dtype: str = "float32"
+    backend: str | None = None
 
 
 def _target_kind(target: str) -> str:
@@ -74,7 +87,11 @@ class Engine:
         from repro.serve.cache import GraphCache
 
         self.config = config or EngineConfig()
-        self.registry = _coerce_registry(models)
+        self._dtype = precision.resolve_dtype(self.config.dtype)
+        # loading under the serving policy casts checkpoint weights to the
+        # serving dtype once, instead of on every forward
+        with precision.compute_dtype(self._dtype):
+            self.registry = _coerce_registry(models)
         # explicit None test: a freshly injected cache is empty and an
         # empty GraphCache is falsy through __len__
         self.cache = (
@@ -154,10 +171,18 @@ class Engine:
         """Targets offered by a registered model (default model if None)."""
         return self.registry.get(model).targets
 
+    def compute_info(self) -> dict:
+        """The serving precision and kernel backend forwards run under."""
+        return {
+            "dtype": self._dtype.name,
+            "backend": nn_backend.resolve_backend(self.config.backend).name,
+        }
+
     def stats(self) -> dict:
         """JSON-ready operational snapshot (the ``/metrics`` body)."""
         executor = self._executor
         return {
+            "compute": self.compute_info(),
             "models": self.registry.describe(),
             "graph_cache": {
                 "hits": self.cache.hits,
@@ -219,8 +244,18 @@ class Engine:
         """Answer a group of requests; failed items become Exceptions.
 
         Items sharing a model and target set are merged into one batched
-        forward pass; the rest fall back to singleton batches.
+        forward pass; the rest fall back to singleton batches.  Runs
+        under the engine's serving precision and kernel backend (both
+        thread-local, so caller threads keep their own policy).
         """
+        with precision.compute_dtype(self._dtype), nn_backend.use_backend(
+            self.config.backend
+        ):
+            return self._predict_group_inner(requests)
+
+    def _predict_group_inner(
+        self, requests: Sequence[PredictionRequest]
+    ) -> list:
         prepared: list[tuple | Exception] = []
         for req in requests:
             t0 = time.perf_counter()
@@ -400,6 +435,8 @@ def create_engine(
     queue_depth: int = 128,
     workers: int = 2,
     timeout_s: float | None = None,
+    dtype: str = "float32",
+    backend: str | None = None,
     cache=None,
 ) -> Engine:
     """One-call engine construction.
@@ -410,6 +447,8 @@ def create_engine(
     (registered as ``"default"``).  A pre-built
     :class:`~repro.serve.cache.GraphCache` (e.g. the pool's sharded
     variant) may be injected via *cache*; it wins over *cache_size*.
+    *dtype* and *backend* set the serving compute policy (float32 by
+    default; pass ``dtype="float64"`` for bit-exact parity with training).
     """
     return Engine(
         models,
@@ -419,6 +458,8 @@ def create_engine(
             queue_depth=queue_depth,
             workers=workers,
             timeout_s=timeout_s,
+            dtype=dtype,
+            backend=backend,
         ),
         cache=cache,
     )

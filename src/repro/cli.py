@@ -21,7 +21,8 @@ Subcommands::
 
     python -m repro predict    --model cap_model.npz --netlist in.sp
                                [--netlist more.sp ...] [--json]
-                               [--annotate out.sp]
+                               [--annotate out.sp] [--precision float32]
+                               [--backend auto]
         Parse SPICE netlists, predict every target the model offers for each
         (batched through :class:`repro.api.Engine`), print a report or a
         JSON dump; with ``--annotate`` also write the parasitic-annotated
@@ -31,7 +32,8 @@ Subcommands::
     python -m repro serve      --models models/ [--host H] [--port P]
                                [--max-batch 16] [--queue-depth 128]
                                [--workers 2] [--cache-size 256]
-                               [--timeout-s T]
+                               [--timeout-s T] [--precision float32]
+                               [--backend auto]
         Discover saved models under ``--models`` and answer predictions over
         stdlib JSON/HTTP: ``POST /predict``, ``GET /healthz``,
         ``GET /metrics``.
@@ -174,6 +176,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
     from repro.api.engine import coerce_request, create_engine
     from repro.circuits import write_spice
+    from repro.nn import precision
     from repro.serve.registry import ModelRegistry, _entry_name
     from repro.sim import annotated_netlist
 
@@ -182,8 +185,11 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         print("--annotate supports exactly one --netlist", file=sys.stderr)
         return 2
     registry = ModelRegistry()
-    registry.load(_entry_name(os.path.basename(args.model)), args.model)
-    with create_engine(registry) as engine:
+    with precision.compute_dtype(args.precision):
+        registry.load(_entry_name(os.path.basename(args.model)), args.model)
+    with create_engine(
+        registry, dtype=args.precision, backend=args.backend
+    ) as engine:
         if args.annotate and "CAP" not in engine.targets_of():
             print("--annotate requires a CAP model", file=sys.stderr)
             return 2
@@ -230,6 +236,8 @@ def _serve_build(args: argparse.Namespace):
         queue_depth=args.queue_depth,
         workers=args.workers,
         timeout_s=args.timeout_s,
+        dtype=args.precision,
+        backend=args.backend,
     )
     access_log = None
     if getattr(args, "access_log", None):
@@ -271,6 +279,8 @@ def _cmd_serve_pool(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         threads=args.workers,
         timeout_s=args.timeout_s,
+        dtype=args.precision,
+        backend=args.backend,
         quiet=not args.verbose,
         metrics_dir=getattr(args, "metrics_dir", None),
         access_log=getattr(args, "access_log", None),
@@ -615,6 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit machine-readable JSON instead of a report")
     p_predict.add_argument("--annotate", default=None,
                            help="write a parasitic-annotated netlist here")
+    p_predict.add_argument("--precision", default="float32",
+                           choices=["float32", "float64"],
+                           help="serving compute precision (default float32; "
+                                "float64 matches training bit-for-bit)")
+    p_predict.add_argument("--backend", default=None,
+                           help="kernel backend: default, fused, auto, or "
+                                "numba when installed (default: "
+                                "REPRO_BACKEND or 'default')")
     add_obs_args(p_predict)
     p_predict.set_defaults(func=_cmd_predict)
 
@@ -639,6 +657,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="graph/feature cache entries")
     p_serve.add_argument("--timeout-s", type=float, default=None,
                          help="per-request deadline while queued")
+    p_serve.add_argument("--precision", default="float32",
+                         choices=["float32", "float64"],
+                         help="serving compute precision (default float32; "
+                              "float64 matches training bit-for-bit)")
+    p_serve.add_argument("--backend", default=None,
+                         help="kernel backend: default, fused, auto, or "
+                              "numba when installed (default: "
+                              "REPRO_BACKEND or 'default')")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
     p_serve.add_argument("--metrics-dir", default=None, metavar="DIR",

@@ -183,6 +183,29 @@ class GraphInputs:
             )
             for type_name, parts in type_parts.items()
         }
+        # The homogenised edge list is type-major over the same union, so
+        # its plans are the interleave of the per-edge-type plans just
+        # stitched above, and the self-loop-augmented plans interleave one
+        # identity block on top — no argsort anywhere in a mega-batch.
+        if merged_edges:
+            type_order = sorted(merged_edges)
+            merged_src_plan = SegmentPlan.interleave(
+                [merged._cache[("edge_src_plan", t)] for t in type_order],
+                num_nodes,
+            )
+            merged_dst_plan = SegmentPlan.interleave(
+                [merged._cache[("edge_dst_plan", t)] for t in type_order],
+                num_nodes,
+            )
+            merged._cache["merged_src_plan"] = merged_src_plan
+            merged._cache["merged_dst_plan"] = merged_dst_plan
+            loops = SegmentPlan.identity(num_nodes)
+            merged._cache["loop_src_plan"] = SegmentPlan.interleave(
+                [merged_src_plan, loops], num_nodes
+            )
+            merged._cache["loop_dst_plan"] = SegmentPlan.interleave(
+                [merged_dst_plan, loops], num_nodes
+            )
         return MegaBatch(inputs=merged, offsets=offsets, sizes=sizes)
 
     # ------------------------------------------------------------------

@@ -9,7 +9,14 @@ Public surface::
     loss.backward()
 """
 
-from repro.nn import precision
+from repro.nn import backend, precision
+from repro.nn.backend import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.nn.layers import MLP, Linear, get_activation
 from repro.nn.loss import huber_loss, mae_loss, mse_loss
 from repro.nn.module import Module, Parameter
@@ -47,12 +54,18 @@ from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 __all__ = [
     "MLP",
     "Linear",
+    "KernelBackend",
     "SegmentPlan",
+    "available_backends",
+    "backend",
     "compute_dtype",
+    "get_backend",
     "get_compute_dtype",
     "plans_enabled",
     "precision",
+    "set_backend",
     "set_compute_dtype",
+    "use_backend",
     "use_legacy_kernels",
     "get_activation",
     "huber_loss",

@@ -1,0 +1,113 @@
+"""Numba-JIT kernel backend (optional; imported only when numba exists).
+
+The kernels loop over the plan's *sorted* row order and accumulate each
+segment sequentially — the exact element order of the CSR scatter the
+``default`` backend uses — so float64 reductions stay bit-identical to
+the reference backend (float32 softmax accumulates its denominator in
+double and may differ in the last ulp).  The win over the fused backend
+is fusing gather + reduce + normalise into one compiled pass with no
+intermediate arrays.
+
+This module raises :class:`ImportError` at import time when numba is not
+installed; :mod:`repro.nn.backend` catches that and simply does not
+register the backend (``auto`` then resolves to ``fused``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange  # noqa: F401 - ImportError gates registration
+
+from repro.nn.backend import FusedNumpyBackend
+from repro.nn.plan import SegmentPlan
+
+
+@njit(cache=True)
+def _gather_rows_2d(data, index, out):  # pragma: no cover - requires numba
+    for k in range(index.shape[0]):
+        row = index[k]
+        for j in range(data.shape[1]):
+            out[k, j] = data[row, j]
+
+
+@njit(cache=True)
+def _scatter_add_sorted(values, order, starts, present, out):
+    # pragma: no cover - requires numba
+    """Sequential per-segment accumulation in stable-sorted row order."""
+    for s in range(starts.shape[0]):
+        begin = starts[s]
+        end = starts[s + 1] if s + 1 < starts.shape[0] else order.shape[0]
+        seg = present[s]
+        for k in range(begin, end):
+            row = order[k]
+            for j in range(values.shape[1]):
+                out[seg, j] += values[row, j]
+
+
+@njit(cache=True)
+def _segment_softmax_sorted(scores, segment_ids, order, starts, present, tiny, out):
+    # pragma: no cover - requires numba
+    """Fused shift/exp/sum/div softmax, one compiled pass per segment."""
+    for s in range(starts.shape[0]):
+        begin = starts[s]
+        end = starts[s + 1] if s + 1 < starts.shape[0] else order.shape[0]
+        for j in range(scores.shape[1]):
+            peak = -np.inf
+            for k in range(begin, end):
+                value = scores[order[k], j]
+                if value > peak:
+                    peak = value
+            if not np.isfinite(peak):
+                peak = 0.0
+            denom = 0.0
+            for k in range(begin, end):
+                row = order[k]
+                e = np.exp(scores[row, j] - peak)
+                out[row, j] = e
+                denom += e
+            if denom < tiny:
+                denom = tiny
+            for k in range(begin, end):
+                out[order[k], j] /= denom
+
+
+class NumbaBackend(FusedNumpyBackend):
+    """JIT'd sorted-loop kernels; falls back to ``fused`` elsewhere."""
+
+    name = "numba"
+
+    def gather_rows(self, data: np.ndarray, index: np.ndarray) -> np.ndarray:
+        if data.ndim != 2:
+            return np.take(data, index, axis=0)
+        out = np.empty((index.shape[0], data.shape[1]), dtype=data.dtype)
+        _gather_rows_2d(np.ascontiguousarray(data), index, out)
+        return out
+
+    def scatter_add(self, values: np.ndarray, plan: SegmentPlan) -> np.ndarray:
+        if values.ndim != 2:
+            return plan.scatter_add(values)
+        values = np.ascontiguousarray(values)
+        out = np.zeros((plan.num_segments, values.shape[1]), dtype=values.dtype)
+        _scatter_add_sorted(values, plan.order, plan.starts, plan.present, out)
+        return out
+
+    def segment_softmax(
+        self,
+        scores: np.ndarray,
+        segment_ids: np.ndarray,
+        plan: SegmentPlan,
+    ) -> np.ndarray:
+        if scores.ndim != 2:
+            return super().segment_softmax(scores, segment_ids, plan)
+        scores = np.ascontiguousarray(scores)
+        out = np.zeros_like(scores)
+        _segment_softmax_sorted(
+            scores,
+            plan.segment_ids,
+            plan.order,
+            plan.starts,
+            plan.present,
+            float(np.finfo(scores.dtype).tiny),
+            out,
+        )
+        return out

@@ -1,0 +1,313 @@
+"""Pluggable compute backends for the kernel engine.
+
+The ~10 kernel entry points of :mod:`repro.nn.ops` (row gathers, segment
+reductions, the fused segment softmax, activations and row normalisation)
+all funnel through a :class:`KernelBackend`.  Which backend answers is a
+**thread-local policy**, mirroring :mod:`repro.nn.precision`: training
+threads keep the reference backend while a serving thread opts into an
+accelerated one, and the two never race on each other's choice.
+
+Shipped backends:
+
+* ``default`` — the numpy/scipy plan-based implementation the repo has
+  always run.  Bit-for-bit identical to the pre-backend code paths; the
+  reference every other backend is tested against.
+* ``fused`` — a pure-numpy rewrite of the hot kernels that eliminates
+  dispatch overhead rather than changing the math: fancy-index gathers
+  become :func:`np.take`, the softmax shift/exp/div chain reuses one
+  scratch buffer end to end, and activation gradient masks are computed
+  lazily (never materialised under ``no_grad`` serving).  Scatter-adds
+  still run through the plan's CSR kernel, so every reduction accumulates
+  in the same element order as ``default`` — float64 outputs are
+  value-identical (``np.array_equal``; only the sign of relu zeros may
+  differ) and float32 outputs match to documented ulp bounds.
+* ``numba`` — JIT'd sorted-loop kernels, registered only when numba is
+  importable (it is an optional dependency; the registry simply omits the
+  backend otherwise).
+* ``auto`` — not a backend but a selector: resolves to ``numba`` when
+  available, else ``fused``.
+
+Selection follows the precision-policy conventions::
+
+    from repro.nn import backend
+
+    with backend.use_backend("fused"):
+        model(inputs)                   # this thread only
+
+    backend.set_backend("auto")         # rest of this thread
+
+The process-wide default is ``default`` unless the ``REPRO_BACKEND``
+environment variable names another registered backend (or ``auto``).
+Gradients of an op always run on the backend that computed its forward —
+the op captures the backend object at forward time — so a policy change
+between forward and backward cannot split one tape node across backends.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.nn.plan import SegmentPlan
+
+#: (out, vjp) pair an activation kernel returns; vjp maps grad -> grad_x.
+ActivationResult = "tuple[np.ndarray, Callable[[np.ndarray], np.ndarray]]"
+
+
+class KernelBackend:
+    """The reference (``default``) backend: plan-based numpy/scipy kernels.
+
+    Subclasses override individual kernels; anything not overridden falls
+    back to these reference implementations, which are the exact code the
+    ops module ran before backends existed.  All methods take and return
+    plain ``np.ndarray`` — tape wrapping stays in :mod:`repro.nn.ops`.
+    """
+
+    name = "default"
+
+    # -- structural kernels --------------------------------------------
+    def gather_rows(self, data: np.ndarray, index: np.ndarray) -> np.ndarray:
+        """``out[k] = data[index[k]]`` along axis 0."""
+        return data[index]
+
+    def scatter_add(self, values: np.ndarray, plan: SegmentPlan) -> np.ndarray:
+        """Sum rows of *values* into ``plan.num_segments`` buckets."""
+        return plan.scatter_add(values)
+
+    def segment_max(self, values: np.ndarray, plan: SegmentPlan) -> np.ndarray:
+        """Per-segment maximum; empty/non-finite maxima become 0."""
+        return plan.segment_max(values)
+
+    def segment_softmax(
+        self,
+        scores: np.ndarray,
+        segment_ids: np.ndarray,
+        plan: SegmentPlan,
+    ) -> np.ndarray:
+        """Shift-stabilised softmax within each segment (the fused forward)."""
+        max_per_segment = self.segment_max(scores, plan)
+        exp_scores = np.exp(scores - max_per_segment[segment_ids])
+        denom = self.scatter_add(exp_scores, plan)
+        np.maximum(denom, np.finfo(scores.dtype).tiny, out=denom)
+        return exp_scores / denom[segment_ids]
+
+    def segment_softmax_backward(
+        self,
+        alpha: np.ndarray,
+        grad: np.ndarray,
+        segment_ids: np.ndarray,
+        plan: SegmentPlan,
+    ) -> np.ndarray:
+        """Closed-form softmax gradient ``alpha * (grad - segsum(alpha*grad))``."""
+        weighted = self.scatter_add(alpha * grad, plan)
+        return alpha * (grad - weighted[segment_ids])
+
+    # -- activations -----------------------------------------------------
+    def relu(self, data: np.ndarray) -> ActivationResult:
+        mask = (data > 0).astype(data.dtype)
+        return data * mask, lambda grad: grad * mask
+
+    def leaky_relu(self, data: np.ndarray, negative_slope: float) -> ActivationResult:
+        scale = np.where(data > 0, 1.0, negative_slope).astype(data.dtype, copy=False)
+        return data * scale, lambda grad: grad * scale
+
+    def sigmoid(self, data: np.ndarray) -> ActivationResult:
+        out = 1.0 / (1.0 + np.exp(-data))
+        return out, lambda grad: grad * out * (1.0 - out)
+
+    def tanh(self, data: np.ndarray) -> ActivationResult:
+        out = np.tanh(data)
+        return out, lambda grad: grad * (1.0 - out**2)
+
+    # -- row normalisation ----------------------------------------------
+    def l2_normalize_rows(self, data: np.ndarray, eps: float):
+        """Fused row normalisation, or ``None`` to use the composite path.
+
+        The reference backend returns ``None``: :func:`repro.nn.ops`
+        builds the historical chain of Tensor ops instead, keeping the
+        training tape (and its gradients) bit-compatible with pre-backend
+        checkpoint runs.
+        """
+        return None
+
+
+class FusedNumpyBackend(KernelBackend):
+    """Dispatch-overhead rewrite of the hot kernels, always available.
+
+    Same accumulation order as ``default`` everywhere a reduction runs
+    (the plan's CSR scatter is reused verbatim), so reductions stay
+    bit-identical; the speedup comes from ``np.take`` replacing
+    fancy-index gathers, scratch-buffer reuse in the softmax chain, and
+    lazily materialised activation masks.
+    """
+
+    name = "fused"
+
+    def gather_rows(self, data: np.ndarray, index: np.ndarray) -> np.ndarray:
+        # np.take skips the generic fancy-indexing machinery (~2x on the
+        # row-gather sizes graph layers see); identical output bytes.
+        return np.take(data, index, axis=0)
+
+    def segment_softmax(
+        self,
+        scores: np.ndarray,
+        segment_ids: np.ndarray,
+        plan: SegmentPlan,
+    ) -> np.ndarray:
+        max_per_segment = self.segment_max(scores, plan)
+        # One scratch buffer carries shift -> exp; the ops are the same
+        # sequence as the reference kernel, so values match bitwise.
+        scratch = np.take(max_per_segment, segment_ids, axis=0)
+        np.subtract(scores, scratch, out=scratch)
+        np.exp(scratch, out=scratch)
+        denom = self.scatter_add(scratch, plan)
+        np.maximum(denom, np.finfo(scores.dtype).tiny, out=denom)
+        out = np.take(denom, segment_ids, axis=0)
+        np.divide(scratch, out, out=out)
+        return out
+
+    def segment_softmax_backward(
+        self,
+        alpha: np.ndarray,
+        grad: np.ndarray,
+        segment_ids: np.ndarray,
+        plan: SegmentPlan,
+    ) -> np.ndarray:
+        weighted = self.scatter_add(alpha * grad, plan)
+        out = np.take(weighted, segment_ids, axis=0)
+        np.subtract(grad, out, out=out)
+        np.multiply(alpha, out, out=out)
+        return out
+
+    def relu(self, data: np.ndarray) -> ActivationResult:
+        # Single-pass clamp; the reference's mask-multiply writes -0.0
+        # where this writes +0.0 (values compare equal).  The mask only
+        # exists if a gradient is actually requested.
+        return np.maximum(data, 0.0), lambda grad: grad * (data > 0)
+
+    def leaky_relu(self, data: np.ndarray, negative_slope: float) -> ActivationResult:
+        out = np.where(data > 0, data, data * negative_slope)
+
+        def vjp(grad: np.ndarray) -> np.ndarray:
+            return grad * np.where(data > 0, 1.0, negative_slope).astype(
+                data.dtype, copy=False
+            )
+
+        return out, vjp
+
+    def l2_normalize_rows(self, data: np.ndarray, eps: float):
+        """One tape node instead of the composite five-op chain.
+
+        Forward matches the composite form bitwise (same row-sum, clip
+        and sqrt); the backward is the closed-form quotient gradient, so
+        gradients agree to roundoff rather than bitwise.
+        """
+        squares = np.sum(data * data, axis=1, keepdims=True)
+        norms = np.sqrt(np.maximum(squares, eps))
+        out = data / norms
+
+        def vjp(grad: np.ndarray) -> np.ndarray:
+            # d(x/n)/dx with n = sqrt(max(sum x^2, eps)): rows clipped at
+            # eps have a constant denominator (zero gradient through n).
+            active = (squares > eps).astype(data.dtype)
+            inner = np.sum(grad * out, axis=1, keepdims=True)
+            return (grad - out * (inner * active)) / norms
+
+        return out, vjp
+
+
+# ----------------------------------------------------------------------
+# Registry + thread-local selection
+# ----------------------------------------------------------------------
+_REGISTRY: "dict[str, KernelBackend]" = {}
+_state = threading.local()
+_process_default: "list[KernelBackend | None]" = [None]
+
+
+def register_backend(backend: KernelBackend, *, replace: bool = False) -> KernelBackend:
+    """Add *backend* to the registry under ``backend.name``."""
+    if not backend.name:
+        raise ValueError("backend needs a non-empty name")
+    if backend.name == "auto":
+        raise ValueError('"auto" is a selector, not a registrable backend name')
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (excludes the ``auto`` selector)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(spec: "str | KernelBackend | None") -> KernelBackend:
+    """Normalise a backend spec (name, instance, or None = thread policy).
+
+    ``"auto"`` resolves to the best accelerated backend available:
+    ``numba`` when its JIT kernels registered, else ``fused``.
+    """
+    if spec is None:
+        return get_backend()
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec == "auto":
+        return _REGISTRY.get("numba") or _REGISTRY["fused"]
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        names = ", ".join(("auto", *available_backends()))
+        raise ValueError(
+            f"unknown kernel backend {spec!r}; choose from {names}"
+        ) from None
+
+
+def _default_backend() -> KernelBackend:
+    """Process default: ``REPRO_BACKEND`` env override, else ``default``."""
+    cached = _process_default[0]
+    if cached is None:
+        cached = resolve_backend(os.environ.get("REPRO_BACKEND") or "default")
+        _process_default[0] = cached
+    return cached
+
+
+def get_backend() -> KernelBackend:
+    """The backend the kernel entry points dispatch to (this thread)."""
+    backend = getattr(_state, "backend", None)
+    return backend if backend is not None else _default_backend()
+
+
+def set_backend(spec: "str | KernelBackend") -> KernelBackend:
+    """Set this thread's backend; returns the resolved instance."""
+    resolved = resolve_backend(spec)
+    _state.backend = resolved
+    return resolved
+
+
+@contextlib.contextmanager
+def use_backend(spec: "str | KernelBackend") -> Iterator[KernelBackend]:
+    """Context manager scoping the kernel backend (restores on exit)."""
+    previous = getattr(_state, "backend", None)
+    resolved = set_backend(spec)
+    try:
+        yield resolved
+    finally:
+        _state.backend = previous
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+register_backend(KernelBackend())
+register_backend(FusedNumpyBackend())
+
+try:  # pragma: no cover - numba is optional and absent in CI images
+    from repro.nn._numba import NumbaBackend
+
+    register_backend(NumbaBackend())
+except ImportError:
+    pass

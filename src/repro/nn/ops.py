@@ -20,6 +20,14 @@ layers) pass cached plans from :class:`repro.models.inputs.GraphInputs`;
 ad-hoc calls build a plan on the fly.  :func:`use_legacy_kernels`
 switches back to the unbuffered composite kernels for benchmarking and
 parity testing.
+
+*Which implementation* answers each kernel is the thread-local policy of
+:mod:`repro.nn.backend`: every op captures the active
+:class:`~repro.nn.backend.KernelBackend` at forward time and runs both
+its forward and its backward through it, so GCN/GraphSAGE/RGCN/GAT and
+ParaGraph layers all swap kernels together when a caller scopes
+``backend.use_backend(...)``.  The ``default`` backend reproduces the
+historical code paths bit-for-bit.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.nn.backend import get_backend
 from repro.nn.plan import SegmentPlan
 from repro.nn.tensor import Tensor, as_tensor
 
@@ -66,6 +75,7 @@ def _scatter_add(
     values: np.ndarray,
     num_rows: int,
     plan: SegmentPlan | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Sum rows of *values* into *num_rows* buckets selected by *index*."""
     if not plans_enabled():
@@ -78,53 +88,39 @@ def _scatter_add(
         plan = SegmentPlan.build(index, num_rows)
     else:
         plan.check(index, num_rows)
-    return plan.scatter_add(values)
+    return (backend or get_backend()).scatter_add(values, plan)
+
+
+def _activation(x: Tensor, kernel) -> Tensor:
+    """Wrap a backend activation kernel (out, vjp) into one tape node."""
+    x = as_tensor(x)
+    out_data, vjp = kernel(x.data)
+
+    def backward(grad: np.ndarray):
+        return (vjp(grad),)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
-    x = as_tensor(x)
-    mask = (x.data > 0).astype(x.data.dtype)
-    out_data = x.data * mask
-
-    def backward(grad: np.ndarray):
-        return (grad * mask,)
-
-    return Tensor._make(out_data, (x,), backward)
+    return _activation(x, get_backend().relu)
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
     """Leaky ReLU with the GAT-default slope of 0.2."""
-    x = as_tensor(x)
-    scale = np.where(x.data > 0, 1.0, negative_slope).astype(x.data.dtype, copy=False)
-    out_data = x.data * scale
-
-    def backward(grad: np.ndarray):
-        return (grad * scale,)
-
-    return Tensor._make(out_data, (x,), backward)
+    backend = get_backend()
+    return _activation(x, lambda data: backend.leaky_relu(data, negative_slope))
 
 
 def sigmoid(x: Tensor) -> Tensor:
     """Logistic sigmoid."""
-    x = as_tensor(x)
-    out_data = 1.0 / (1.0 + np.exp(-x.data))
-
-    def backward(grad: np.ndarray):
-        return (grad * out_data * (1.0 - out_data),)
-
-    return Tensor._make(out_data, (x,), backward)
+    return _activation(x, get_backend().sigmoid)
 
 
 def tanh(x: Tensor) -> Tensor:
     """Hyperbolic tangent."""
-    x = as_tensor(x)
-    out_data = np.tanh(x.data)
-
-    def backward(grad: np.ndarray):
-        return (grad * (1.0 - out_data**2),)
-
-    return Tensor._make(out_data, (x,), backward)
+    return _activation(x, get_backend().tanh)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
@@ -159,11 +155,12 @@ def gather_rows(
     """
     x = as_tensor(x)
     index = np.asarray(index, dtype=np.int64)
-    out_data = x.data[index]
+    backend = get_backend()
+    out_data = backend.gather_rows(x.data, index)
     num_rows = x.data.shape[0]
 
     def backward(grad: np.ndarray):
-        return (_scatter_add(index, grad, num_rows, plan),)
+        return (_scatter_add(index, grad, num_rows, plan, backend),)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -187,10 +184,11 @@ def segment_sum(
             f"segment_ids length {len(segment_ids)} does not match "
             f"leading dimension {x.data.shape[0]}"
         )
-    out_data = _scatter_add(segment_ids, x.data, num_segments, plan)
+    backend = get_backend()
+    out_data = _scatter_add(segment_ids, x.data, num_segments, plan, backend)
 
     def backward(grad: np.ndarray):
-        return (grad[segment_ids],)
+        return (backend.gather_rows(grad, segment_ids),)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -224,7 +222,7 @@ def _segment_max_data(
     if plans_enabled():
         if plan is None:
             plan = SegmentPlan.build(segment_ids, num_segments)
-        return plan.segment_max(data)
+        return get_backend().segment_max(data, plan)
     out = np.full((num_segments, *data.shape[1:]), -np.inf, dtype=data.dtype)
     # staticcheck: ignore[autodiff-bypass] -- legacy segment-max kernel
     np.maximum.at(out, segment_ids, data)
@@ -261,15 +259,15 @@ def segment_softmax(
         if plan is None:
             plan = SegmentPlan.build(segment_ids, num_segments)
         fused_plan = plan
-        max_per_segment = fused_plan.segment_max(scores.data)
-        exp_scores = np.exp(scores.data - max_per_segment[segment_ids])
-        denom = fused_plan.scatter_add(exp_scores)
-        np.maximum(denom, np.finfo(scores.data.dtype).tiny, out=denom)
-        alpha = exp_scores / denom[segment_ids]
+        backend = get_backend()
+        alpha = backend.segment_softmax(scores.data, segment_ids, fused_plan)
 
         def backward(grad: np.ndarray):
-            weighted = fused_plan.scatter_add(alpha * grad)
-            return (alpha * (grad - weighted[segment_ids]),)
+            return (
+                backend.segment_softmax_backward(
+                    alpha, grad, segment_ids, fused_plan
+                ),
+            )
 
         return Tensor._make(alpha, (scores,), backward)
     # Legacy composite path (the pre-plan-engine computation order).
@@ -309,6 +307,7 @@ def scatter_rows(
     for piece, index in zip(pieces, index_arrays):
         if piece.data.shape[0] != len(index):
             raise ShapeError("scatter_rows piece/index length mismatch")
+    backend = get_backend()
     if plans_enabled():
         out_data = np.zeros((num_rows, width), dtype=dtype)
         for piece, index, plan in zip(pieces, index_arrays, plans):
@@ -319,7 +318,9 @@ def scatter_rows(
                 # avoids the (num_rows, F) temporary of the general path
                 out_data[index] += piece.data
             else:
-                out_data += _scatter_add(index, piece.data, num_rows, plan)
+                out_data += _scatter_add(
+                    index, piece.data, num_rows, plan, backend
+                )
     else:
         out_data = np.zeros((num_rows, width), dtype=dtype)
         for piece, index in zip(pieces, index_arrays):
@@ -327,14 +328,27 @@ def scatter_rows(
             np.add.at(out_data, index, piece.data)
 
     def backward(grad: np.ndarray):
-        return tuple(grad[index] for index in index_arrays)
+        return tuple(backend.gather_rows(grad, index) for index in index_arrays)
 
     return Tensor._make(out_data, tuple(pieces), backward)
 
 
 def l2_normalize_rows(x: Tensor, eps: float = 1e-12) -> Tensor:
-    """Normalise each row to unit L2 norm (GraphSage's final projection)."""
+    """Normalise each row to unit L2 norm (GraphSage's final projection).
+
+    Backends may fuse this into a single tape node (forward matches the
+    composite chain bitwise; the closed-form backward agrees to roundoff).
+    The default backend keeps the historical composite Tensor-op chain.
+    """
     x = as_tensor(x)
+    fused = get_backend().l2_normalize_rows(x.data, eps)
+    if fused is not None:
+        out_data, vjp = fused
+
+        def backward(grad: np.ndarray):
+            return (vjp(grad),)
+
+        return Tensor._make(out_data, (x,), backward)
     norms = (x * x).sum(axis=1, keepdims=True).clip_min(eps).sqrt()
     return x / norms
 

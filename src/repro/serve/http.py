@@ -6,9 +6,10 @@ Endpoints:
   "targets": [...], "model": ...}`` for one circuit, or
   ``{"items": [<request>, ...]}`` for a micro-batched group.  Responds with
   a :meth:`PredictionResult.to_json_dict` dump (or ``{"results": [...]}``).
-* ``GET /healthz`` — liveness plus the model inventory; pool workers also
-  report their identity (index, pid, weight ``generation``) and, when a
-  metrics directory is wired, per-worker fleet liveness.
+* ``GET /healthz`` — liveness plus the model inventory and the serving
+  ``compute`` policy (precision dtype + kernel backend); pool workers
+  also report their identity (index, pid, weight ``generation``) and,
+  when a metrics directory is wired, per-worker fleet liveness.
 * ``GET /metrics`` — engine stats (cache hit rate, queue depth), the
   metrics-registry snapshot when collection is on, and the merged fleet
   rows when a metrics directory is wired.  ``/metrics?format=prom``
@@ -192,6 +193,7 @@ class _Handler(BaseHTTPRequestHandler):
             payload = {
                 "status": "ok",
                 "uptime_s": time.monotonic() - self.started_at,
+                "compute": self.engine.compute_info(),
                 "models": self.engine.registry.describe(),
             }
             if self.worker_id is not None:

@@ -47,6 +47,7 @@ from dataclasses import dataclass, replace
 
 from repro import obs
 from repro.errors import ServeError
+from repro.nn import precision
 from repro.obs import mpmetrics
 from repro.serve.cache import GraphCache
 from repro.serve.registry import artifact_version
@@ -168,6 +169,10 @@ class PoolConfig:
     queue_depth: int = 128
     threads: int = 2
     timeout_s: float | None = None
+    #: serving compute precision (weights cast at load; float32 default)
+    dtype: str = "float32"
+    #: kernel backend for worker forwards (None = REPRO_BACKEND / default)
+    backend: str | None = None
     shard_cache: bool = True
     ring_replicas: int = 64
     drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
@@ -279,6 +284,8 @@ def _child_main(
                 queue_depth=config.queue_depth,
                 workers=config.threads,
                 timeout_s=config.timeout_s,
+                dtype=config.dtype,
+                backend=config.backend,
             ),
             cache=cache,
         )
@@ -440,7 +447,10 @@ class ServerPool:
             self._owns_metrics_dir = True
         os.makedirs(self.config.metrics_dir, exist_ok=True)
 
-        self.registry = _coerce_registry(self._models)
+        # load under the pool's serving precision so the shared-memory
+        # weight arrays every worker maps are already the serving dtype
+        with precision.compute_dtype(self.config.dtype):
+            self.registry = _coerce_registry(self._models)
         self._published = publish_registry_weights(
             self.registry, generation=self.generation
         )
@@ -593,7 +603,8 @@ class ServerPool:
         old_workers = self.workers()
         old_published = self._published
         self.generation += 1
-        self.registry = _coerce_registry(self._models)
+        with precision.compute_dtype(self.config.dtype):
+            self.registry = _coerce_registry(self._models)
         self._published = publish_registry_weights(
             self.registry, generation=self.generation
         )

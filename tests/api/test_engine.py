@@ -26,6 +26,9 @@ from repro.errors import ApiError
 @pytest.fixture
 def engine(api_cap_predictor, api_sa_predictor, api_multi_model,
            api_ensemble_model, api_baseline_model):
+    # float64: the legacy-parity tests below compare bit-for-bit against
+    # the historical predict paths (serving defaults to float32; the
+    # cross-precision behaviour is covered by tests/api/test_backends.py)
     eng = create_engine(
         {
             "cap": api_cap_predictor,
@@ -33,7 +36,8 @@ def engine(api_cap_predictor, api_sa_predictor, api_multi_model,
             "multi": api_multi_model,
             "ens": api_ensemble_model,
             "base": api_baseline_model,
-        }
+        },
+        dtype="float64",
     )
     yield eng
     eng.close()
