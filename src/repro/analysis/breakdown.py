@@ -70,8 +70,8 @@ def error_breakdown(
     ReproError
         On length mismatches or non-positive ground truth.
     """
-    truth = np.asarray(truth, dtype=np.float64).ravel()
-    prediction = np.asarray(prediction, dtype=np.float64).ravel()
+    truth = np.asarray(truth, dtype=np.float64).ravel()  # staticcheck: ignore[precision-policy] -- metrics accumulate in float64 for stable statistics regardless of model dtype
+    prediction = np.asarray(prediction, dtype=np.float64).ravel()  # staticcheck: ignore[precision-policy] -- metrics accumulate in float64 for stable statistics regardless of model dtype
     fanout = np.asarray(fanout, dtype=np.int64).ravel()
     if not (len(truth) == len(prediction) == len(fanout)):
         raise ReproError("truth/prediction/fanout length mismatch")

@@ -12,8 +12,8 @@ from repro.errors import ReproError
 
 
 def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
-    y_true = np.asarray(y_true, dtype=np.float64).ravel()
-    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()  # staticcheck: ignore[precision-policy] -- metrics accumulate in float64 for stable statistics regardless of model dtype
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()  # staticcheck: ignore[precision-policy] -- metrics accumulate in float64 for stable statistics regardless of model dtype
     if y_true.shape != y_pred.shape:
         raise ReproError(
             f"metric inputs disagree: {y_true.shape} vs {y_pred.shape}"
@@ -58,7 +58,7 @@ ERROR_BIN_LABELS = ("< 10%", "10%-20%", "20%-30%", "30%-40%", "40%-50%", "> 50%"
 
 def error_range_histogram(relative_errors) -> dict[str, int]:
     """Bin absolute relative errors into the paper's Table V ranges."""
-    errors = np.abs(np.asarray(relative_errors, dtype=np.float64).ravel())
+    errors = np.abs(np.asarray(relative_errors, dtype=np.float64).ravel())  # staticcheck: ignore[precision-policy] -- metrics accumulate in float64 for stable statistics regardless of model dtype
     counts = dict.fromkeys(ERROR_BIN_LABELS, 0)
     for err in errors:
         for edge, label in zip(ERROR_BINS, ERROR_BIN_LABELS):
@@ -72,7 +72,7 @@ def error_range_histogram(relative_errors) -> dict[str, int]:
 
 def geometric_mean_error(relative_errors, floor: float = 1e-6) -> float:
     """Geometric mean of absolute relative errors (Table V bottom row)."""
-    errors = np.maximum(np.abs(np.asarray(relative_errors, dtype=np.float64)), floor)
+    errors = np.maximum(np.abs(np.asarray(relative_errors, dtype=np.float64)), floor)  # staticcheck: ignore[precision-policy] -- metrics accumulate in float64 for stable statistics regardless of model dtype
     if errors.size == 0:
         raise ReproError("geometric mean of empty error list")
     return float(np.exp(np.log(errors).mean()))

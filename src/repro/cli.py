@@ -47,14 +47,18 @@ Subcommands::
         ``--trace`` or ``--obs-jsonl``.
 
     python -m repro check [paths...] [--rules r1,r2] [--shapes/--no-shapes]
+                          [--project] [--changed BASE] [--fail-stale]
                           [--baseline FILE] [--no-baseline]
-                          [--update-baseline] [--format json] [--verbose]
-                          [--list-rules]
+                          [--update-baseline] [--format json|sarif]
+                          [--verbose] [--list-rules]
         Run the repo-aware static checks: the AST lint rules over
         ``src/repro`` (or explicit file paths) plus the symbolic
         shape/dtype contract checker over every shipped model config.
-        Exit 0 when clean, 1 when there are new findings, 2 on usage or
-        configuration errors.
+        ``--project`` adds the whole-program call-graph/dataflow rules;
+        ``--changed BASE`` gates only on findings touching files changed
+        since a git ref.  Exit 0 when clean, 1 when there are new
+        findings (or stale baseline entries under ``--fail-stale``),
+        2 on usage or configuration errors.
 
 Every subcommand additionally accepts ``--trace out.json`` (write a Chrome
 ``trace_event`` file loadable in Perfetto / chrome://tracing) and
@@ -449,6 +453,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.errors import StaticCheckError
     from repro.staticcheck import (
         render_json,
+        render_sarif,
         render_text,
         rule_names,
         run_lint,
@@ -458,10 +463,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.staticcheck.runner import CheckResult, default_baseline_path
 
     if args.list_rules:
-        from repro.staticcheck import all_rules
+        from repro.staticcheck import all_project_rules, all_rules
 
         for rule in all_rules():
             print(f"{rule.name:18s} [{rule.severity.value}] {rule.description}")
+        for rule in all_project_rules():
+            print(f"{rule.name:18s} [{rule.severity.value}] (--project) "
+                  f"{rule.description}")
         print(f"{'shape-contract':18s} [error] symbolic shape/dtype "
               "propagation over shipped model configs")
         return 0
@@ -472,24 +480,56 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else None
     )
     paths = args.paths or None
+    if args.project and paths is not None:
+        print(
+            "repro check: --project analyses the whole repo; explicit "
+            "paths are not supported (use --changed BASE to gate on a diff)",
+            file=sys.stderr,
+        )
+        return 2
+    lint_selected = project_selected = selected
+    if args.project and selected is not None:
+        from repro.staticcheck.project_rules import project_rule_names
+
+        lint_selected = [n for n in selected if n not in project_rule_names()]
+        project_selected = [n for n in selected if n in project_rule_names()]
     try:
         result = run_lint(
             paths=paths,
-            rule_names=selected,
+            rule_names=lint_selected,
             baseline_path=args.baseline,
             use_baseline=not args.no_baseline,
+            compute_stale=not args.project,
         )
+        if args.project:
+            from repro.staticcheck import run_project
+
+            result = run_project(
+                rule_names=project_selected,
+                baseline_path=args.baseline,
+                use_baseline=not args.no_baseline,
+                lint_result=result,
+            )
     except StaticCheckError as exc:
         print(f"repro check: {exc}", file=sys.stderr)
         return 2
 
+    if args.changed:
+        from repro.staticcheck import changed_files, filter_changed
+
+        try:
+            result = filter_changed(result, changed_files(args.changed))
+        except StaticCheckError as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+
     if args.update_baseline:
         from repro.staticcheck.baseline import Baseline
 
-        if paths is not None:
+        if paths is not None or args.changed:
             print(
                 "repro check: --update-baseline requires a full-repo run "
-                "(no explicit paths)",
+                "(no explicit paths, no --changed)",
                 file=sys.stderr,
             )
             return 2
@@ -508,8 +548,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
+    if args.fail_stale and result.stale_baseline:
+        return 1
     return 0 if result.ok() else 1
 
 
@@ -704,9 +748,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "<repo>/staticcheck-baseline.json)")
     p_check.add_argument("--no-baseline", action="store_true",
                          help="report grandfathered findings too")
+    p_check.add_argument("--project", action="store_true",
+                         help="also run the whole-program rules (call "
+                              "graph + dataflow: lock-order, fork-safety, "
+                              "resource-lifecycle, precision-taint)")
+    p_check.add_argument("--changed", default=None, metavar="BASE",
+                         help="only report findings touching files changed "
+                              "since this git ref (diff-aware CI gate)")
+    p_check.add_argument("--fail-stale", action="store_true",
+                         help="exit non-zero when baseline entries no "
+                              "longer match any finding (baseline may "
+                              "only shrink)")
     p_check.add_argument("--update-baseline", action="store_true",
                          help="rewrite the baseline from the current findings")
-    p_check.add_argument("--format", choices=["text", "json"], default="text")
+    p_check.add_argument("--format", choices=["text", "json", "sarif"],
+                         default="text")
     p_check.add_argument("--verbose", action="store_true",
                          help="also list suppressed and baselined findings")
     p_check.add_argument("--list-rules", action="store_true",

@@ -85,10 +85,10 @@ class TargetScaler:
             raise DatasetError(f"target scale must be positive, got {self.scale}")
 
     def transform(self, values: np.ndarray) -> np.ndarray:
-        return np.asarray(values, dtype=np.float64) / self.scale
+        return np.asarray(values, dtype=np.float64) / self.scale  # staticcheck: ignore[precision-policy] -- target values are SI-unit physical quantities, float64-canonical at the dataset boundary
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
-        return np.asarray(values, dtype=np.float64) * self.scale
+        return np.asarray(values, dtype=np.float64) * self.scale  # staticcheck: ignore[precision-policy] -- target values are SI-unit physical quantities, float64-canonical at the dataset boundary
 
 
 @dataclass
@@ -110,16 +110,16 @@ class LogTargetScaler:
             raise DatasetError(f"target scale must be positive, got {self.scale}")
 
     def transform(self, values: np.ndarray) -> np.ndarray:
-        values = np.maximum(np.asarray(values, dtype=np.float64), self.floor)
+        values = np.maximum(np.asarray(values, dtype=np.float64), self.floor)  # staticcheck: ignore[precision-policy] -- target values are SI-unit physical quantities, float64-canonical at the dataset boundary
         return np.log(values / self.scale)
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
-        return self.scale * np.exp(np.asarray(values, dtype=np.float64))
+        return self.scale * np.exp(np.asarray(values, dtype=np.float64))  # staticcheck: ignore[precision-policy] -- target values are SI-unit physical quantities, float64-canonical at the dataset boundary
 
 
 def log_scaler_from_values(values: np.ndarray) -> LogTargetScaler:
     """Log scaler anchored at the geometric mean of *values*."""
-    values = np.asarray(values, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)  # staticcheck: ignore[precision-policy] -- target values are SI-unit physical quantities, float64-canonical at the dataset boundary
     if values.size == 0:
         raise DatasetError("cannot derive a target scale from no values")
     positive = np.maximum(values, 1e-30)
@@ -128,7 +128,7 @@ def log_scaler_from_values(values: np.ndarray) -> LogTargetScaler:
 
 def scaler_from_std(values: np.ndarray) -> TargetScaler:
     """Target scaler using the std of training values (device parameters)."""
-    values = np.asarray(values, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)  # staticcheck: ignore[precision-policy] -- target values are SI-unit physical quantities, float64-canonical at the dataset boundary
     if values.size == 0:
         raise DatasetError("cannot derive a target scale from no values")
     std = float(values.std())

@@ -52,7 +52,7 @@ class TargetSpec:
     def values(self, graph: HeteroGraph, layout: LayoutResult) -> np.ndarray:
         """Ground-truth values aligned with :meth:`node_ids`."""
         ids = self.node_ids(graph)
-        out = np.empty(len(ids), dtype=np.float64)
+        out = np.empty(len(ids), dtype=np.float64)  # staticcheck: ignore[precision-policy] -- ground truth is extracted from layout in SI units, float64-canonical at the dataset boundary
         for k, node_id in enumerate(ids):
             name = graph.node_name_of[node_id]
             if self.kind == "net":

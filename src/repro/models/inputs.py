@@ -231,14 +231,16 @@ class GraphInputs:
         return self._cached("self_loop_edges", build)
 
     def in_degrees(self, include_self_loops: bool = False) -> np.ndarray:
-        """In-degree per node over the merged edge list."""
+        """Integral in-degree per node over the merged edge list.
+
+        Counts stay int64; dtype-sensitive consumers cast at their own
+        boundary (:meth:`gcn_inv_sqrt_degree` keys its cache by dtype).
+        """
 
         def build():
-            deg = np.bincount(
-                self.merged_dst, minlength=self.num_nodes
-            ).astype(np.float64)
+            deg = np.bincount(self.merged_dst, minlength=self.num_nodes)
             if include_self_loops:
-                deg += 1.0
+                deg = deg + 1
             return deg
 
         return self._cached(("in_degrees", bool(include_self_loops)), build)

@@ -57,7 +57,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "ObsTrainCallback", "SpanRecord", "Tracer", "DEFAULT_BUCKETS",
     "AccessLog", "current_request_id", "new_request_id", "request_context",
-    "enable", "disable", "is_enabled", "reset", "span", "traced",
+    "enable", "disable", "is_enabled", "reset", "reinit_after_fork",
+    "span", "traced",
     "enable_metrics", "disable_metrics", "metrics_enabled",
     "inc", "set_gauge", "observe", "tracer", "registry",
     "export_jsonl", "export_chrome_trace", "summary",
@@ -125,6 +126,21 @@ def reset() -> None:
     """Drop all recorded spans and metrics."""
     _TRACER.reset()
     _REGISTRY.reset()
+
+
+def reinit_after_fork() -> None:
+    """Make the obs singletons safe in a freshly forked child process.
+
+    The parent may fork while other threads hold the tracer or registry
+    locks — those threads do not exist in the child, so an inherited
+    held lock deadlocks forever; the tracer's ``threading.local`` slot
+    likewise carries the parent's active span stack, and an inherited
+    metrics mirror would double-write the parent's mmap file.  Call this
+    first thing on the child path, while it is still single-threaded
+    (``repro.serve.pool`` does).
+    """
+    _TRACER.reinit_after_fork()
+    _REGISTRY.reinit_after_fork()
 
 
 # ----------------------------------------------------------------------

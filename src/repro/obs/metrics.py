@@ -152,6 +152,18 @@ class MetricsRegistry:
             mirror, self._mirror = self._mirror, None
             return mirror
 
+    def reinit_after_fork(self) -> None:
+        """Make this registry safe in a freshly forked child.
+
+        Replaces the lock (the parent may have forked while another
+        thread held it) and drops any inherited mirror — a mirror wraps
+        the *parent's* mmap metrics file, and two processes writing one
+        file corrupts the merged fleet view; the child attaches its own.
+        Only call while the child is still single-threaded.
+        """
+        self._lock = threading.Lock()
+        self._mirror = None
+
     def _get(self, kind, name: str, labels: dict | None, **kwargs):
         key = (kind.__name__, name, _label_key(labels or {}))
         with self._lock:

@@ -212,6 +212,19 @@ class Tracer:
             self._spans = []
             self._next_id = 1
 
+    def reinit_after_fork(self) -> None:
+        """Make this tracer safe in a freshly forked child.
+
+        The child inherits the parent's lock (possibly held by a parent
+        thread that does not exist here — instant deadlock) and the
+        forking thread's ``threading.local`` slot (the parent's *active
+        span stack* — child spans would nest under parent spans).  Both
+        are replaced wholesale.  Only call while the child is still
+        single-threaded.
+        """
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs):
         """Context manager timing one region; no-op while disabled."""

@@ -50,7 +50,7 @@ from repro.errors import ServeError
 from repro.nn import precision
 from repro.obs import mpmetrics
 from repro.serve.cache import GraphCache
-from repro.serve.registry import artifact_version
+from repro.serve.registry import ModelRegistry, artifact_version
 from repro.serve.shm import (
     PublishedArrays,
     adopt_weight_arrays,
@@ -218,19 +218,6 @@ def _make_listener(host: str, port: int, *, reuseport: bool) -> socket.socket:
     return sock
 
 
-def _reset_inherited_locks(registry) -> None:
-    """Replace locks a forked child inherited possibly mid-acquire.
-
-    The parent may fork while *other* threads (test harness, telemetry)
-    hold the obs or registry locks; those threads do not exist in the
-    child, so an inherited held lock would deadlock forever.  Fresh locks
-    are safe here: the child is single-threaded at this point.
-    """
-    obs.registry()._lock = threading.Lock()
-    obs.tracer()._lock = threading.Lock()
-    registry._lock = threading.RLock()
-
-
 def _process_rss_kb() -> int:
     """Current RSS of this process in KiB (0 when /proc is unavailable)."""
     try:
@@ -247,7 +234,7 @@ def _process_rss_kb() -> int:
 def _child_main(
     index: int,
     config: PoolConfig,
-    registry,
+    registry: ModelRegistry,
     listener: socket.socket,
     ready_fd: int,
     generation: int,
@@ -257,7 +244,14 @@ def _child_main(
         from repro.api.engine import Engine, EngineConfig
         from repro.serve.http import PredictionServer
 
-        _reset_inherited_locks(registry)
+        # The parent may fork while *other* threads (test harness,
+        # telemetry) hold the obs or registry locks; those threads do not
+        # exist in this child, so every inherited lock / threading.local
+        # must be replaced while we are still single-threaded.  The
+        # `fork-safety` whole-program check verifies this covers every
+        # lock-owning object that crosses the fork.
+        obs.reinit_after_fork()
+        registry.reinit_after_fork()
         signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
         term_early = {"hit": False}
         signal.signal(

@@ -227,6 +227,18 @@ class ModelRegistry:
             snapshot = [self._entries[name] for name in sorted(self._entries)]
         yield from snapshot
 
+    def reinit_after_fork(self) -> None:
+        """Make this registry safe in a freshly forked child.
+
+        The lock may have been held by a parent thread at fork time;
+        that thread does not exist in the child, so the inherited lock
+        would deadlock on first use.  Entries are shared state by design
+        (the child serves the parent's adopted shared-memory weights)
+        and are kept.  Only call while the child is still
+        single-threaded.
+        """
+        self._lock = threading.RLock()
+
     def describe(self) -> list[dict]:
         """JSON-ready summary rows (the ``/healthz`` model inventory)."""
         return [

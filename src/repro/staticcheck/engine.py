@@ -99,12 +99,20 @@ class Rule:
 class LintEngine:
     """Run a set of rules over source files, applying pragmas."""
 
-    def __init__(self, rules: Sequence[Rule]):
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        known_rule_names: Iterable[str] = (),
+    ):
         names = [rule.name for rule in rules]
         dupes = {n for n in names if names.count(n) > 1}
         if dupes:
             raise StaticCheckError(f"duplicate rule names: {sorted(dupes)}")
         self.rules = list(rules)
+        # Rule names that are valid pragma targets even though this engine
+        # does not run them (whole-program rules, the shape checker):
+        # pragmas for those live on source lines this engine *does* parse.
+        self.known_rule_names = frozenset(known_rule_names)
 
     def rule_names(self) -> tuple[str, ...]:
         return tuple(rule.name for rule in self.rules)
@@ -137,7 +145,7 @@ class LintEngine:
     # ------------------------------------------------------------------
     def _pragma_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
         """Report malformed pragmas and pragmas naming unknown rules."""
-        known = set(self.rule_names())
+        known = set(self.rule_names()) | self.known_rule_names
         unknown = ctx.pragmas.rules_mentioned() - known
         if unknown:
             # anchor on the first line that mentions an unknown rule

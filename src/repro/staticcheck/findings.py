@@ -23,6 +23,32 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class RelatedLocation:
+    """A secondary location a whole-program finding depends on.
+
+    Whole-program rules (call-graph / dataflow) anchor a finding in one
+    file but reason about code in another — a lock acquired here while
+    held there, a float64 source flowing into a serving function two
+    modules away.  The related location carries that second site; its
+    ``snippet`` (not its line number) joins the fingerprint so the
+    finding's identity survives line drift in *both* files.
+    """
+
+    path: str
+    line: int = 0
+    snippet: str = ""
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
 class Finding:
     """One static-analysis finding, from a lint rule or the shape checker.
 
@@ -30,7 +56,11 @@ class Finding:
     ``model://`` pseudo-path for shape-contract findings.  ``snippet`` is
     the stripped source line the finding anchors to; the baseline
     fingerprint hashes it instead of the line number so findings survive
-    unrelated edits above them.
+    unrelated edits above them.  ``related`` carries the secondary
+    locations of whole-program findings (the other end of a lock cycle,
+    the taint source feeding a sink) — their snippets join the
+    fingerprint, so identity survives line drift across every involved
+    file.
     """
 
     rule: str
@@ -40,19 +70,29 @@ class Finding:
     severity: Severity = Severity.ERROR
     col: int = 0
     snippet: str = ""
+    related: tuple[RelatedLocation, ...] = ()
     suppressed: bool = field(default=False, compare=False)
     baselined: bool = field(default=False, compare=False)
 
     def fingerprint(self) -> str:
-        """Stable identity for baseline matching (rule + path + snippet)."""
-        payload = "\x1f".join((self.rule, self.path, " ".join(self.snippet.split())))
+        """Stable identity for baseline matching.
+
+        Hashes rule + path + normalised snippet, plus (path, snippet) of
+        every related location — never a line number, so entries survive
+        unrelated edits above any of the involved sites.
+        """
+        parts = [self.rule, self.path, " ".join(self.snippet.split())]
+        for loc in self.related:
+            parts.append(loc.path)
+            parts.append(" ".join(loc.snippet.split()))
+        payload = "\x1f".join(parts)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def location(self) -> str:
         return f"{self.path}:{self.line}" if self.line else self.path
 
     def as_dict(self) -> dict:
-        return {
+        row = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -64,6 +104,9 @@ class Finding:
             "suppressed": self.suppressed,
             "baselined": self.baselined,
         }
+        if self.related:
+            row["related"] = [loc.as_dict() for loc in self.related]
+        return row
 
     def with_flags(
         self, *, suppressed: bool | None = None, baselined: bool | None = None

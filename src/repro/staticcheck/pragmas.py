@@ -10,7 +10,9 @@ Syntax (anywhere in a comment)::
 
 A pragma on its own comment line also covers the next code line (blank
 lines and wrapped justification comments in between are skipped), so
-multi-line statements can carry a suppression above them.
+multi-line statements can carry a suppression above them.  Above a
+decorated ``def``/``class`` the coverage extends through the decorator
+stack to the definition line, where such findings anchor.
 ``ignore-file`` applies to the whole module and is parsed anywhere, by
 convention near the top.  Unknown rule names in a pragma are reported by
 the engine as ``invalid-pragma`` findings rather than silently ignored.
@@ -103,14 +105,23 @@ def parse_pragmas(source: str) -> PragmaIndex:
         # A pragma-only comment line also shields the next code line
         # (skipping blank lines and the rest of a wrapped justification
         # comment), so statements can carry the suppression above them.
+        # Decorator lines are skipped through as well: findings on a
+        # decorated ``def``/``class`` anchor at the definition line, so a
+        # pragma above the decorator stack must reach it.
         lines = source.splitlines()
         if col == 0 or not lines[lineno - 1][:col].strip():
             cursor = lineno + 1
+            in_decorators = False
             while cursor <= len(lines):
                 stripped = lines[cursor - 1].strip()
                 covered.append(cursor)
-                if stripped and not stripped.startswith("#"):
-                    break
+                if stripped.startswith("@"):
+                    in_decorators = True
+                elif stripped and not stripped.startswith("#"):
+                    if not in_decorators or stripped.startswith(
+                        ("def ", "async def ", "class ")
+                    ):
+                        break
                 cursor += 1
         for line in covered:
             existing = index.by_line.get(line, frozenset())

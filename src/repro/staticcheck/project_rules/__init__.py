@@ -1,0 +1,119 @@
+"""Whole-program rules: checks that need the call graph, not one module.
+
+Per-module rules (:mod:`repro.staticcheck.rules`) see a single ``ast``
+tree; the rules in this package consume a
+:class:`~repro.staticcheck.project.ProjectContext` — the project-wide
+symbol table, call graph and reachability — plus the
+:mod:`~repro.staticcheck.dataflow` CFG framework.  They run under
+``repro check --project``.
+
+Findings behave exactly like per-module findings: same pragma syntax on
+the primary location's line, same baseline machinery (fingerprints of
+whole-program findings fold in every related location's snippet, so an
+entry survives line drift in *both* files of a two-file finding).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.staticcheck.findings import Finding, RelatedLocation, Severity
+from repro.staticcheck.project import ProjectContext
+
+__all__ = [
+    "ProjectRule",
+    "PROJECT_RULE_CLASSES",
+    "all_project_rules",
+    "project_rule_names",
+    "select_project_rules",
+]
+
+
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    Mirrors :class:`repro.staticcheck.engine.Rule` but checks the whole
+    :class:`ProjectContext` at once.  ``name`` is the identity used by
+    pragmas, the baseline, ``--rules`` filters and reports.
+    """
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(
+        self,
+        project: ProjectContext,
+        path: str,
+        line: int,
+        message: str,
+        *,
+        col: int = 0,
+        severity: "Severity | None" = None,
+        related: "tuple[RelatedLocation, ...]" = (),
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity or self.severity,
+            snippet=self.snippet(project, path, line),
+            related=related,
+        )
+
+    def snippet(self, project: ProjectContext, path: str, line: int) -> str:
+        info = project.by_path.get(path)
+        return info.ctx.line_at(line) if info is not None else ""
+
+    def related(
+        self,
+        project: ProjectContext,
+        path: str,
+        line: int,
+        note: str = "",
+    ) -> RelatedLocation:
+        return RelatedLocation(
+            path=path,
+            line=line,
+            snippet=self.snippet(project, path, line),
+            note=note,
+        )
+
+
+from repro.staticcheck.project_rules.fork_safety import ForkSafetyRule  # noqa: E402
+from repro.staticcheck.project_rules.lock_order import LockOrderRule  # noqa: E402
+from repro.staticcheck.project_rules.precision_taint import (  # noqa: E402
+    PrecisionTaintRule,
+)
+from repro.staticcheck.project_rules.resource_lifecycle import (  # noqa: E402
+    ResourceLifecycleRule,
+)
+
+#: Registration order is report order for ties.
+PROJECT_RULE_CLASSES: "tuple[type[ProjectRule], ...]" = (
+    LockOrderRule,
+    ForkSafetyRule,
+    ResourceLifecycleRule,
+    PrecisionTaintRule,
+)
+
+
+def all_project_rules() -> "list[ProjectRule]":
+    return [cls() for cls in PROJECT_RULE_CLASSES]
+
+
+def project_rule_names() -> "tuple[str, ...]":
+    return tuple(cls.name for cls in PROJECT_RULE_CLASSES)
+
+
+def select_project_rules(names: "Iterable[str] | None") -> "list[ProjectRule]":
+    if names is None:
+        return all_project_rules()
+    wanted = set(names)
+    return [cls() for cls in PROJECT_RULE_CLASSES if cls.name in wanted]

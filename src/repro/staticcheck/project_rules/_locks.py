@@ -1,0 +1,175 @@
+"""Shared lock-identification helpers for the whole-program rules.
+
+A *lock key* is a project-global identity for one lock object:
+
+* ``repro.serve.shm._retired_lock`` — a module-level lock global;
+* ``repro.api.registry.ModelRegistry._lock`` — an instance lock attr
+  (one key per class attr; instances are not distinguished, which is the
+  right granularity for ordering: all instances share the class's
+  acquisition discipline).
+
+Both the lock-order and fork-safety rules key their reasoning on these.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.engine import dotted_name
+from repro.staticcheck.project import FunctionInfo, ModuleInfo, ProjectContext
+from repro.staticcheck.rules.concurrency import LOCK_FACTORIES, _field_default_factory
+
+#: ``threading.local`` is not a lock but is equally fork-hostile: an
+#: inherited instance carries the *parent's* per-thread slots.  The
+#: fork-safety rule treats it like a lock attribute.
+FORK_HOSTILE_FACTORIES = frozenset(LOCK_FACTORIES | {"threading.local"})
+
+
+def is_lock_factory_call(node: ast.AST, *, fork_hostile: bool = False) -> bool:
+    factories = FORK_HOSTILE_FACTORIES if fork_hostile else LOCK_FACTORIES
+    return isinstance(node, ast.Call) and dotted_name(node.func) in factories
+
+
+def is_rlock_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and dotted_name(node.func) in (
+        "threading.RLock",
+        "multiprocessing.RLock",
+    )
+
+
+@dataclass
+class LockTable:
+    """Every known lock in the project, by key."""
+
+    #: lock key -> (path, lineno of the defining assignment)
+    defs: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: lock key -> True when the lock is reentrant (RLock)
+    reentrant: dict[str, bool] = field(default_factory=dict)
+    #: class qualname -> its lock attr names (lock factories only)
+    class_locks: dict[str, list[str]] = field(default_factory=dict)
+    #: class qualname -> fork-hostile attrs (locks + threading.local)
+    class_fork_hostile: dict[str, list[str]] = field(default_factory=dict)
+    #: (class qualname, attr) -> defining assignment site, fork-hostile set
+    hostile_defs: dict[tuple[str, str], tuple[str, int]] = field(
+        default_factory=dict
+    )
+
+
+def collect_locks(project: ProjectContext) -> LockTable:
+    table = LockTable()
+    for minfo in project.modules.values():
+        # module-level lock globals
+        for node in minfo.ctx.tree.body:
+            if isinstance(node, ast.Assign) and is_lock_factory_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        key = f"{minfo.name}.{target.id}"
+                        table.defs[key] = (minfo.path, node.lineno)
+                        table.reentrant[key] = is_rlock_call(node.value)
+        # instance lock attrs, from any method that assigns them — or a
+        # dataclass field(default_factory=threading.RLock) declaration
+        for cinfo in minfo.classes.values():
+            for stmt in cinfo.node.body:
+                if not (
+                    isinstance(stmt, ast.AnnAssign)
+                    and stmt.value is not None
+                    and isinstance(stmt.target, ast.Name)
+                ):
+                    continue
+                factory = _field_default_factory(stmt.value)
+                if factory in LOCK_FACTORIES:
+                    attr = stmt.target.id
+                    key = f"{cinfo.qualname}.{attr}"
+                    table.defs.setdefault(key, (minfo.path, stmt.lineno))
+                    table.reentrant.setdefault(
+                        key, factory.endswith("RLock")
+                    )
+                    locks = table.class_locks.setdefault(cinfo.qualname, [])
+                    if attr not in locks:
+                        locks.append(attr)
+                if factory in FORK_HOSTILE_FACTORIES:
+                    attr = stmt.target.id
+                    attrs = table.class_fork_hostile.setdefault(
+                        cinfo.qualname, []
+                    )
+                    if attr not in attrs:
+                        attrs.append(attr)
+                    table.hostile_defs.setdefault(
+                        (cinfo.qualname, attr), (minfo.path, stmt.lineno)
+                    )
+            for method in cinfo.methods.values():
+                for node in ast.walk(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        if is_lock_factory_call(node.value):
+                            key = f"{cinfo.qualname}.{target.attr}"
+                            if key not in table.defs:
+                                table.defs[key] = (minfo.path, node.lineno)
+                                table.reentrant[key] = is_rlock_call(node.value)
+                            table.class_locks.setdefault(
+                                cinfo.qualname, []
+                            )
+                            if target.attr not in table.class_locks[cinfo.qualname]:
+                                table.class_locks[cinfo.qualname].append(target.attr)
+                        if is_lock_factory_call(node.value, fork_hostile=True):
+                            attrs = table.class_fork_hostile.setdefault(
+                                cinfo.qualname, []
+                            )
+                            if target.attr not in attrs:
+                                attrs.append(target.attr)
+                            table.hostile_defs.setdefault(
+                                (cinfo.qualname, target.attr),
+                                (minfo.path, node.lineno),
+                            )
+    return table
+
+
+def lock_key_of(
+    project: ProjectContext,
+    table: LockTable,
+    minfo: ModuleInfo,
+    fn: FunctionInfo,
+    expr: ast.AST,
+) -> "str | None":
+    """Resolve a lock expression to its key, or None.
+
+    Handles ``self._lock`` (method of a lock-owning class, including
+    locks inherited from known bases), a module-global lock name, an
+    imported lock global, and ``obj._lock`` where ``obj``'s class is
+    locally inferable.
+    """
+    if isinstance(expr, ast.Attribute):
+        base = expr.value
+        if isinstance(base, ast.Name):
+            cls_qual: "str | None" = None
+            if base.id == "self" and fn.class_name is not None:
+                cls_qual = f"{fn.module}.{fn.class_name}"
+            else:
+                cls_qual = project._local_types(fn).get(base.id)
+            while cls_qual is not None:
+                key = f"{cls_qual}.{expr.attr}"
+                if key in table.defs:
+                    return key
+                cinfo = project.classes.get(cls_qual)
+                cls_qual = cinfo.bases[0] if cinfo and cinfo.bases else None
+            # module attribute: shm._retired_lock
+            resolved = project._resolve_name(minfo, dotted_name(expr))
+            if resolved in table.defs:
+                return resolved
+        return None
+    if isinstance(expr, ast.Name):
+        resolved = project._resolve_name(minfo, expr.id)
+        if resolved in table.defs:
+            return resolved
+        key = f"{minfo.name}.{expr.id}"
+        if key in table.defs:
+            return key
+    return None

@@ -1,0 +1,311 @@
+"""``lock-order``: cross-module lock acquisition discipline.
+
+The serving stack holds locks across call boundaries — an HTTP handler
+under the engine's executor lock can end up in ``repro.obs`` taking the
+registry lock.  Two functions that take the same pair of locks in
+opposite orders deadlock under load, and nothing in a single module
+betrays it.  This rule builds the project-wide *acquire graph*:
+
+* an edge ``A -> B`` whenever some function acquires lock ``B`` (itself
+  or via any transitively-called function) while holding lock ``A``;
+* a **cycle** in that graph is a potential deadlock — reported once per
+  cycle with the witnessing acquisition sites as related locations;
+* a non-reentrant lock re-acquired while already held (``A -> A``) is a
+  guaranteed self-deadlock;
+* a bare ``lock.acquire()`` whose matching ``release()`` is not executed
+  on every CFG path — including exception edges — is reported too
+  (the per-module ``concurrency`` rule bans bare acquire in
+  serve/obs/api; this check is project-wide and path-sensitive).
+
+Lock identity is per class attribute or module global
+(:mod:`._locks`), which matches how ordering discipline is actually
+maintained: by code structure, not per instance.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.staticcheck.dataflow import build_cfg, shallow_walk
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.project import FunctionInfo, ProjectContext
+from repro.staticcheck.project_rules import ProjectRule
+from repro.staticcheck.project_rules._locks import (
+    LockTable,
+    collect_locks,
+    lock_key_of,
+)
+
+
+@dataclass(frozen=True)
+class _Edge:
+    held: str
+    acquired: str
+    #: where the held lock context lives
+    held_path: str
+    held_line: int
+    #: where the inner acquisition happens
+    acq_path: str
+    acq_line: int
+    #: function whose body witnesses the edge
+    via: str
+
+
+class LockOrderRule(ProjectRule):
+    name = "lock-order"
+    description = (
+        "project-wide lock acquire-graph: order cycles (deadlocks), "
+        "re-acquiring a non-reentrant lock while held, and .acquire() "
+        "without .release() on some exit path"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        table = collect_locks(project)
+        acquires = self._local_acquires(project, table)
+        transitive = self._transitive_sets(project, acquires)
+        edges = self._edges(project, table, acquires, transitive)
+        yield from self._report_self_edges(project, table, edges)
+        yield from self._report_cycles(project, edges)
+        yield from self._report_unreleased(project, table)
+
+    # ------------------------------------------------------------------
+    # Per-function acquisition facts
+    # ------------------------------------------------------------------
+    def _local_acquires(
+        self, project: ProjectContext, table: LockTable
+    ) -> dict[str, list[tuple[str, ast.With]]]:
+        """qualname -> [(lock key, with-node)] acquired directly."""
+        result: dict[str, list[tuple[str, ast.With]]] = {}
+        for fn in project.functions.values():
+            minfo = project.modules[fn.module]
+            sites: list[tuple[str, ast.With]] = []
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        key = lock_key_of(
+                            project, table, minfo, fn, item.context_expr
+                        )
+                        if key is not None:
+                            sites.append((key, node))
+            if sites:
+                result[fn.qualname] = sites
+        return result
+
+    def _transitive_sets(
+        self,
+        project: ProjectContext,
+        acquires: dict[str, list[tuple[str, ast.With]]],
+    ) -> dict[str, set[str]]:
+        """qualname -> every lock key it may acquire, transitively."""
+        sets: dict[str, set[str]] = {
+            qual: {key for key, _ in sites} for qual, sites in acquires.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in project.call_graph.items():
+                merged = sets.get(caller, set())
+                before = len(merged)
+                for callee in callees:
+                    merged |= sets.get(callee, set())
+                if len(merged) > before or (merged and caller not in sets):
+                    sets[caller] = merged
+                    changed = True
+        return sets
+
+    # ------------------------------------------------------------------
+    # Acquire-graph edges
+    # ------------------------------------------------------------------
+    def _edges(
+        self,
+        project: ProjectContext,
+        table: LockTable,
+        acquires: dict[str, list[tuple[str, ast.With]]],
+        transitive: dict[str, set[str]],
+    ) -> list[_Edge]:
+        edges: dict[tuple[str, str], _Edge] = {}
+
+        def add(
+            held: str,
+            acquired: str,
+            fn: FunctionInfo,
+            held_node: ast.AST,
+            acq_path: str,
+            acq_line: int,
+        ) -> None:
+            if held == acquired and table.reentrant.get(held, False):
+                return  # RLock self-reentrance is fine
+            key = (held, acquired)
+            if key not in edges:
+                edges[key] = _Edge(
+                    held=held,
+                    acquired=acquired,
+                    held_path=fn.path,
+                    held_line=held_node.lineno,
+                    acq_path=acq_path,
+                    acq_line=acq_line,
+                    via=fn.qualname,
+                )
+
+        for qual, sites in acquires.items():
+            fn = project.functions[qual]
+            for held_key, with_node in sites:
+                # inner direct acquisitions
+                for node in ast.walk(with_node):
+                    if node is with_node:
+                        continue
+                    if isinstance(node, (ast.With, ast.AsyncWith)):
+                        minfo = project.modules[fn.module]
+                        for item in node.items:
+                            inner = lock_key_of(
+                                project, table, minfo, fn, item.context_expr
+                            )
+                            if inner is not None:
+                                add(
+                                    held_key, inner, fn, with_node,
+                                    fn.path, node.lineno,
+                                )
+                # acquisitions via calls made while held
+                for node in ast.walk(with_node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = self._resolve(project, fn, node)
+                    if callee is None:
+                        continue
+                    for inner in transitive.get(callee.qualname, ()):
+                        add(
+                            held_key, inner, fn, with_node,
+                            callee.path, callee.lineno,
+                        )
+
+        return list(edges.values())
+
+    def _resolve(
+        self, project: ProjectContext, fn: FunctionInfo, call: ast.Call
+    ) -> "FunctionInfo | None":
+        minfo = project.modules[fn.module]
+        types = project._local_types(fn)
+        return project._resolve_call(minfo, fn, types, call)
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def _report_self_edges(
+        self, project: ProjectContext, table: LockTable, edges: list[_Edge]
+    ) -> Iterator[Finding]:
+        for edge in edges:
+            if edge.held != edge.acquired:
+                continue
+            yield self.finding(
+                project,
+                edge.held_path,
+                edge.held_line,
+                f"non-reentrant lock {edge.held} may be re-acquired while "
+                f"already held (via {edge.via}); this self-deadlocks — use "
+                "an RLock or restructure so the inner call runs outside "
+                "the lock",
+                related=(
+                    self.related(
+                        project, edge.acq_path, edge.acq_line,
+                        "inner acquisition reached while the lock is held",
+                    ),
+                ),
+            )
+
+    def _report_cycles(
+        self, project: ProjectContext, edges: list[_Edge]
+    ) -> Iterator[Finding]:
+        graph: dict[str, list[_Edge]] = {}
+        for edge in edges:
+            if edge.held != edge.acquired:
+                graph.setdefault(edge.held, []).append(edge)
+
+        seen_cycles: set[tuple[str, ...]] = set()
+
+        def walk(start: str, node: str, path: list[_Edge]) -> Iterator[list[_Edge]]:
+            for edge in graph.get(node, ()):
+                if edge.acquired == start:
+                    yield path + [edge]
+                elif all(e.held != edge.acquired for e in path):
+                    yield from walk(start, edge.acquired, path + [edge])
+
+        for start in sorted(graph):
+            for cycle in walk(start, start, []):
+                keys = tuple(sorted(e.held for e in cycle))
+                if keys in seen_cycles:
+                    continue
+                seen_cycles.add(keys)
+                order = " -> ".join([e.held for e in cycle] + [cycle[0].held])
+                first = cycle[0]
+                yield self.finding(
+                    project,
+                    first.held_path,
+                    first.held_line,
+                    f"lock-order cycle {order}: these locks are acquired in "
+                    "inconsistent orders across the call graph, which can "
+                    "deadlock under concurrent load; pick one global order",
+                    related=tuple(
+                        self.related(
+                            project, e.acq_path, e.acq_line,
+                            f"{e.acquired} acquired while {e.held} is held "
+                            f"(via {e.via})",
+                        )
+                        for e in cycle
+                    ),
+                )
+
+    def _report_unreleased(
+        self, project: ProjectContext, table: LockTable
+    ) -> Iterator[Finding]:
+        for fn in project.functions.values():
+            minfo = project.modules[fn.module]
+            cfg = None  # built lazily: most functions never bare-acquire
+            for stmt_node in ast.walk(fn.node):
+                if not isinstance(stmt_node, ast.Call):
+                    continue
+                func = stmt_node.func
+                if not (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+                    continue
+                key = lock_key_of(project, table, minfo, fn, func.value)
+                if key is None:
+                    continue
+                receiver = ast.unparse(func.value)
+                if cfg is None:
+                    cfg = build_cfg(fn.node)
+                # find the CFG node whose statement contains this call
+                holder = None
+                for cnode in cfg.nodes:
+                    if cnode.stmt is None:
+                        continue
+                    if any(n is stmt_node for n in shallow_walk(cnode.stmt)):
+                        holder = cnode
+                        break
+                if holder is None:
+                    continue
+
+                def releases(cnode) -> bool:
+                    if cnode.stmt is None:
+                        return False
+                    for n in shallow_walk(cnode.stmt):
+                        if (
+                            isinstance(n, ast.Call)
+                            and isinstance(n.func, ast.Attribute)
+                            and n.func.attr == "release"
+                            and ast.unparse(n.func.value) == receiver
+                        ):
+                            return True
+                    return False
+
+                leaks = cfg.paths_missing(holder.index, releases)
+                if leaks:
+                    via = sorted({n.label for n in leaks})
+                    yield self.finding(
+                        project,
+                        fn.path,
+                        stmt_node.lineno,
+                        f"{key} is acquire()d here but not release()d on "
+                        f"every exit path ({', '.join(via)}); use `with` or "
+                        "try/finally",
+                    )

@@ -1,0 +1,252 @@
+"""``precision-taint``: float64 must not flow into the serving hot path.
+
+Serving runs float32 by default (PR 9): weights are cast once at load
+and every kernel follows the thread-local policy.  A ``np.float64``
+literal, ``dtype="float64"`` or ``.astype(np.float64)`` anywhere the
+serving entry point can reach silently upcasts the hot path — correct
+answers, half the throughput, found only in a flame graph.
+
+The per-module ``precision-policy`` rule flags float literals one file
+at a time with no notion of *where the code runs*.  This rule supersedes
+it on the serving path (``repro check --project`` drops ``precision-policy``
+findings inside serving-reachable functions in favour of these):
+
+* every function reachable from ``Engine._predict_group`` in the call
+  graph is scanned for float64 sources; a hit is reported with the call
+  edge that puts the function on the serving path as a related location
+  (a two-file finding — the fingerprint survives line drift in both);
+* at the *boundary*, reaching-definitions dataflow catches a tainted
+  local handed into the serving path from outside it: a variable
+  assigned from a float64 source and passed as an argument to a
+  serving-reachable function.
+
+float32 sources are deliberately not flagged here (they match the
+serving policy; the per-module rule still polices them elsewhere), and
+the policy's own modules (``nn/precision.py``, ``nn/serialize.py`` —
+checkpoints are float64-canonical on disk) stay exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.staticcheck.dataflow import ReachingDefs, shallow_walk
+from repro.staticcheck.engine import dotted_name
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.project import FunctionInfo, ProjectContext
+from repro.staticcheck.project_rules import ProjectRule
+from repro.staticcheck.rules.precision import ALLOWED_MODULES
+
+#: serving entry points; every function they can reach is the hot path
+SERVING_ROOTS = ("repro.api.engine.Engine._predict_group",)
+
+FLOAT64_ATTRS = frozenset(
+    {"np.float64", "numpy.float64", "np.double", "numpy.double"}
+)
+FLOAT64_STRINGS = frozenset({"float64", "f8", "<f8"})
+
+
+def _float64_sources(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for float64 sources under *node*."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            name = dotted_name(sub)
+            if name in FLOAT64_ATTRS:
+                yield sub, name
+        elif isinstance(sub, ast.Call):
+            for kw in sub.keywords:
+                if (
+                    kw.arg == "dtype"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value in FLOAT64_STRINGS
+                ):
+                    yield kw.value, f'dtype="{kw.value.value}"'
+            func = dotted_name(sub.func)
+            if (
+                func.endswith(".astype") or func in ("np.dtype", "numpy.dtype")
+            ) and sub.args:
+                arg = sub.args[0]
+                if isinstance(arg, ast.Constant) and arg.value in FLOAT64_STRINGS:
+                    yield arg, f'"{arg.value}" dtype'
+
+
+class PrecisionTaintRule(ProjectRule):
+    name = "precision-taint"
+    description = (
+        "float64 sources inside (or passed into) code reachable from the "
+        "serving entry point Engine._predict_group; serving is float32"
+    )
+
+    roots: tuple[str, ...] = SERVING_ROOTS
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        parents = self._bfs_parents(project)
+        reachable = set(parents)
+        yield from self._scan_reachable(project, parents)
+        yield from self._scan_boundary(project, reachable)
+
+    # ------------------------------------------------------------------
+    def reachable_paths(self, project: ProjectContext) -> set[str]:
+        """Module paths on the serving hot path (for supersession)."""
+        return project.reachable_paths(self.roots)
+
+    def superseded_spans(
+        self, project: ProjectContext
+    ) -> "dict[str, list[tuple[int, int]]]":
+        """Line spans of serving-reachable functions, per module path.
+
+        ``precision-policy`` findings inside these spans are dropped in
+        project mode — this rule scans exactly that code, with call-graph
+        context.  Supersession is *function*-granular, not file-granular:
+        a module with one serving-reachable helper keeps the literal scan
+        on its unrelated training-only functions.
+        """
+        spans: "dict[str, list[tuple[int, int]]]" = {}
+        for qual in self._bfs_parents(project):
+            fn = project.functions[qual]
+            end = getattr(fn.node, "end_lineno", None) or fn.node.lineno
+            spans.setdefault(fn.path, []).append((fn.node.lineno, end))
+        return spans
+
+    def _bfs_parents(
+        self, project: ProjectContext
+    ) -> dict[str, "tuple[str, int] | None"]:
+        """qualname -> (caller qualname, call lineno) on a shortest path
+        from a root; roots map to None."""
+        parents: dict[str, "tuple[str, int] | None"] = {}
+        queue: list[str] = []
+        for root in self.roots:
+            if root in project.functions:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            qual = queue.pop(0)
+            fn = project.functions[qual]
+            for call, callee in project.calls_in(fn):
+                if callee.qualname not in parents:
+                    parents[callee.qualname] = (qual, call.lineno)
+                    queue.append(callee.qualname)
+        return parents
+
+    # ------------------------------------------------------------------
+    def _scan_reachable(
+        self,
+        project: ProjectContext,
+        parents: dict[str, "tuple[str, int] | None"],
+    ) -> Iterator[Finding]:
+        for qual in sorted(parents):
+            fn = project.functions[qual]
+            if self._exempt(fn.path):
+                continue
+            for node, what in _float64_sources(fn.node):
+                related = ()
+                parent = parents[qual]
+                if parent is not None:
+                    caller_qual, call_line = parent
+                    caller = project.functions[caller_qual]
+                    related = (
+                        self.related(
+                            project,
+                            caller.path,
+                            call_line,
+                            f"on the serving path: {caller_qual} calls "
+                            f"{qual} here",
+                        ),
+                    )
+                yield self.finding(
+                    project,
+                    fn.path,
+                    node.lineno,
+                    f"hard-coded {what} in {qual}, reachable from the "
+                    f"float32 serving path ({self.roots[0]}); follow the "
+                    "precision policy (get_compute_dtype / the input's "
+                    "dtype) or justify with a pragma",
+                    related=related,
+                )
+
+    # ------------------------------------------------------------------
+    def _scan_boundary(
+        self, project: ProjectContext, reachable: set[str]
+    ) -> Iterator[Finding]:
+        """Tainted locals passed into the serving path from outside it."""
+        rd = ReachingDefs()
+        for fn in project.functions.values():
+            if fn.qualname in reachable or self._exempt(fn.path):
+                continue
+            taint_lines = self._taint_lines(fn)
+            if not taint_lines:
+                continue
+            facts: "dict[ast.stmt, frozenset] | None" = None
+            for call, callee in project.calls_in(fn):
+                if callee.qualname not in reachable:
+                    continue
+                tainted_args = [
+                    arg.id
+                    for arg in list(call.args)
+                    + [kw.value for kw in call.keywords]
+                    if isinstance(arg, ast.Name)
+                ]
+                if not tainted_args:
+                    continue
+                if facts is None:
+                    facts = rd.analyse(fn.node)
+                stmt = self._enclosing_stmt(fn, call)
+                if stmt is None or stmt not in facts:
+                    continue
+                reaching = facts[stmt]
+                for arg_name in tainted_args:
+                    hit = next(
+                        (
+                            line
+                            for (var, line) in reaching
+                            if var == arg_name and line in taint_lines
+                        ),
+                        None,
+                    )
+                    if hit is None:
+                        continue
+                    yield self.finding(
+                        project,
+                        fn.path,
+                        call.lineno,
+                        f"{arg_name!r} carries float64 (assigned line "
+                        f"{hit}) into serving-reachable "
+                        f"{callee.qualname}; cast to the serving dtype "
+                        "at this boundary",
+                        related=(
+                            self.related(
+                                project, fn.path, hit,
+                                "float64 source definition",
+                            ),
+                            self.related(
+                                project, callee.path, callee.lineno,
+                                "serving-reachable callee",
+                            ),
+                        ),
+                    )
+
+    def _taint_lines(self, fn: FunctionInfo) -> set[int]:
+        lines: set[int] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if node.value is not None and any(
+                    True for _ in _float64_sources(node.value)
+                ):
+                    lines.add(node.lineno)
+        return lines
+
+    def _enclosing_stmt(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> "ast.stmt | None":
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.stmt) and any(
+                sub is call for sub in shallow_walk(node)
+            ):
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _exempt(path: str) -> bool:
+        return any(path == f"src/repro/{mod}" for mod in ALLOWED_MODULES)

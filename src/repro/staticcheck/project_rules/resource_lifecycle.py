@@ -1,0 +1,173 @@
+"""``resource-lifecycle``: opened handles must be released on every path.
+
+A ``SharedMemory`` segment, socket, or file opened in a long-running
+serving process and dropped on an exception path is a slow leak that
+only shows up under production error rates.  For every local that is
+assigned from an opening call and **does not escape** the function
+(returned, yielded, stored on an object, or handed to another call —
+escaping handles are someone else's lifecycle), this rule asks the CFG:
+
+* is there a *normal* exit path that never closes it?  That is a
+  definite leak — reported as an error.
+* is there an *exception* exit path that never closes it (no
+  try/finally, no ``with``)?  Reported as an error inside the
+  long-running packages (``serve``/``obs``/``api``), a warning
+  elsewhere — a batch script that leaks an fd on a crash is unpleasant;
+  a serving worker that leaks one per failed request falls over.
+
+``with`` blocks are the house style and always satisfy the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.staticcheck.dataflow import build_cfg, shallow_walk
+from repro.staticcheck.engine import dotted_name
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.project import FunctionInfo, ProjectContext
+from repro.staticcheck.project_rules import ProjectRule
+
+#: call spellings that allocate a handle needing explicit release
+OPENERS = frozenset(
+    {
+        "open",
+        "os.fdopen",
+        "socket.socket",
+        "socket.create_connection",
+        "shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.SharedMemory",
+        "SharedMemory",
+    }
+)
+
+#: method names that discharge the obligation
+CLOSERS = frozenset({"close", "unlink", "shutdown", "detach", "terminate"})
+
+LONG_RUNNING_PACKAGES = ("serve", "obs", "api")
+
+
+def _opening_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and dotted_name(node.func) in OPENERS
+
+
+class ResourceLifecycleRule(ProjectRule):
+    name = "resource-lifecycle"
+    description = (
+        "file/socket/SharedMemory handles opened without close/unlink on "
+        "all CFG paths (exception edges included); `with` always passes"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        for fn in project.functions.values():
+            yield from self._check_function(project, fn)
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self, project: ProjectContext, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        opens: list[tuple[str, ast.Assign]] = []
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and _opening_call(node.value)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                opens.append((node.targets[0].id, node))
+        if not opens:
+            return
+        cfg = None
+        for name, assign in opens:
+            if self._escapes(fn, name, assign):
+                continue
+            if cfg is None:
+                cfg = build_cfg(fn.node)
+            holder = cfg.node_for(assign)
+            if holder is None:
+                continue
+
+            def closes(cnode) -> bool:
+                if cnode.stmt is None:
+                    return False
+                for sub in shallow_walk(cnode.stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in CLOSERS
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == name
+                    ):
+                        return True
+                return False
+
+            normal_leaks = cfg.paths_missing(
+                holder.index, closes, include_exceptional=False
+            )
+            if normal_leaks:
+                yield self.finding(
+                    project,
+                    fn.path,
+                    assign.lineno,
+                    f"{name!r} ({dotted_name(assign.value.func)}) is opened "
+                    "here but some normal exit path never closes it; close "
+                    "it on every path or use `with`",
+                )
+                continue  # the all-paths report would be redundant
+            all_leaks = cfg.paths_missing(holder.index, closes)
+            if all_leaks:
+                long_running = any(
+                    fn.path.startswith(f"src/repro/{pkg}/")
+                    or fn.path == f"src/repro/{pkg}.py"
+                    for pkg in LONG_RUNNING_PACKAGES
+                )
+                yield self.finding(
+                    project,
+                    fn.path,
+                    assign.lineno,
+                    f"{name!r} ({dotted_name(assign.value.func)}) leaks if "
+                    "an exception unwinds before the close: wrap in "
+                    "try/finally or `with`",
+                    severity=(
+                        Severity.ERROR if long_running else Severity.WARNING
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    def _escapes(self, fn: FunctionInfo, name: str, assign: ast.Assign) -> bool:
+        """True when the handle outlives the function or changes owner."""
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and any(
+                    isinstance(sub, ast.Name) and sub.id == name
+                    for sub in ast.walk(value)
+                ):
+                    return True
+            elif isinstance(node, ast.Call):
+                # `name` passed to another call transfers ownership —
+                # except to its own methods (name.read() etc.)
+                args = list(node.args) + [kw.value for kw in node.keywords]
+                for arg in args:
+                    if any(
+                        isinstance(sub, ast.Name) and sub.id == name
+                        for sub in ast.walk(arg)
+                    ):
+                        return True
+            elif isinstance(node, ast.Assign) and node is not assign:
+                for target in node.targets:
+                    # stored on an object / container: self.x = name
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        if any(
+                            isinstance(sub, ast.Name) and sub.id == name
+                            for sub in ast.walk(node.value)
+                        ):
+                            return True
+                    # re-aliased: other = name
+                    elif isinstance(target, ast.Name) and isinstance(
+                        node.value, ast.Name
+                    ):
+                        if node.value.id == name:
+                            return True
+        return False

@@ -18,7 +18,8 @@ reported at the layer that introduces it.
 :func:`shipped_configs` enumerates the model zoo the repo actually ships —
 all five convolution families, the paper's readout depths (4 FC for CAP,
 2 for device parameters, 0 for the linear-readout baseline), both
-``TrainConfig.dtype`` precisions and every ParaGraph ablation — and
+``TrainConfig.dtype`` precisions, every ParaGraph ablation and the
+shared-trunk multi-task ensemble (one trunk, 13 readout heads) — and
 :func:`check_all_shipped` validates the lot.  Findings use the virtual
 path ``model://<label>`` so they flow through the same reporters and CLI
 exit codes as the lint rules.
@@ -317,6 +318,56 @@ class _Checker:
         return self.linear(f"{where}.update", layer.update, combined)
 
 
+def _trunk_embeddings(
+    checker: _Checker,
+    trunk,
+    feature_dims: "dict[str, int]",
+    *,
+    prefix: str = "",
+) -> SymTensor:
+    """Symbolic node embeddings after encoder + all convolutions.
+
+    Shared by the single-model and multi-task walks; *prefix* namespaces
+    failure sites (``trunk.convs.0`` vs ``convs.0``).
+    """
+    edge_types = sorted(
+        getattr(trunk.convs[0], "edge_types", []) if trunk.convs else []
+    )
+    h = checker.encoder(trunk.encoder, feature_dims)
+    embed = SymDim.of(trunk.embed_dim)
+    if not h.cols.compatible(embed):
+        checker.fail(f"{prefix}encoder", f"produced {h} but embed_dim is {embed}")
+    for i, conv in enumerate(trunk.convs):
+        h_next = checker.conv(f"{prefix}convs.{i}", conv, h, edge_types)
+        if not h_next.cols.compatible(embed):
+            checker.fail(
+                f"{prefix}convs.{i}",
+                f"layer output {h_next} does not preserve embed_dim {embed}; "
+                "stacked convolutions require F -> F",
+            )
+            h_next = SymTensor(h.rows, embed, h_next.dtype)
+        h = h_next
+    return h
+
+
+def _check_head(
+    checker: _Checker, where: str, readout, picked: SymTensor
+) -> None:
+    """One readout MLP: contracts against its input, ends in 1 column."""
+    out = checker.mlp(where, readout, picked)
+    if out.cols.is_concrete() and out.cols.size != 1:
+        checker.fail(
+            where,
+            f"regression head must end in 1 column, got {out}",
+        )
+    if out.dtype != checker.expected_dtype:
+        checker.fail(
+            where,
+            f"forward pass promotes to {out.dtype}; expected "
+            f"{checker.expected_dtype.name} end to end",
+        )
+
+
 def _to_findings(checker: _Checker) -> list[Finding]:
     return [
         Finding(
@@ -350,35 +401,41 @@ def check_regressor(
     dims = feature_dims or {
         name: t.in_features for name, t in sorted(model.encoder.transforms.items())
     }
-    edge_types = sorted(
-        getattr(model.convs[0], "edge_types", []) if model.convs else []
-    )
-    h = checker.encoder(model.encoder, dims)
-    embed = SymDim.of(model.embed_dim)
-    if not h.cols.compatible(embed):
-        checker.fail("encoder", f"produced {h} but embed_dim is {embed}")
-    for i, conv in enumerate(model.convs):
-        h_next = checker.conv(f"convs.{i}", conv, h, edge_types)
-        if not h_next.cols.compatible(embed):
-            checker.fail(
-                f"convs.{i}",
-                f"layer output {h_next} does not preserve embed_dim {embed}; "
-                "stacked convolutions require F -> F",
-            )
-            h_next = SymTensor(h.rows, embed, h_next.dtype)
-        h = h_next
+    h = _trunk_embeddings(checker, model, dims)
     picked = checker.gather(h, SymDim.sym("n_targets"))
-    out = checker.mlp("readout", model.readout, picked)
-    if out.cols.is_concrete() and out.cols.size != 1:
-        checker.fail(
-            "readout",
-            f"regression head must end in 1 column, got {out}",
-        )
-    if out.dtype != checker.expected_dtype:
-        checker.fail(
-            "readout",
-            f"forward pass promotes to {out.dtype}; expected "
-            f"{checker.expected_dtype.name} end to end",
+    _check_head(checker, "readout", model.readout, picked)
+    return sort_findings(_to_findings(checker))
+
+
+def check_multitask(
+    model,
+    *,
+    feature_dims: "dict[str, int] | None" = None,
+    label: str = "multitask",
+    expected_dtype: "str | np.dtype | None" = None,
+) -> list[Finding]:
+    """Statically validate one constructed :class:`MultiTaskModel`.
+
+    Walks the :class:`SharedTrunk` once (encoder -> L convolutions), then
+    feeds the symbolic embeddings to every :class:`ReadoutHead`: each head
+    must contract against the trunk's embedding width, end in 1 column,
+    and preserve the compute dtype end to end.
+    """
+    from repro.nn import precision
+
+    dtype = np.dtype(expected_dtype) if expected_dtype else precision.get_compute_dtype()
+    checker = _Checker(label=label, expected_dtype=np.dtype(dtype))
+    trunk = model.trunk
+    dims = feature_dims or {
+        name: t.in_features for name, t in sorted(trunk.encoder.transforms.items())
+    }
+    h = _trunk_embeddings(checker, trunk, dims, prefix="trunk.")
+    if not model.heads:
+        checker.fail("heads", "multi-task model has no readout heads")
+    for name in sorted(model.heads):
+        picked = checker.gather(h, SymDim.sym(f"n[{name}]"))
+        _check_head(
+            checker, f"heads.{name}.readout", model.heads[name].readout, picked
         )
     return sort_findings(_to_findings(checker))
 
@@ -396,11 +453,15 @@ def check_model_config(config: dict) -> list[Finding]:
     Config keys mirror ``GNNRegressor`` / ``TrainConfig``: ``conv`` (name),
     plus optional ``embed_dim``, ``num_layers``, ``num_fc_layers``,
     ``dtype``, ``conv_kwargs``, ``feature_dims`` and ``label``.
+    ``trunk: "shared"`` (the :class:`TrainPlan` spelling) switches to the
+    multi-task ensemble — see :func:`check_multitask_config`.
     """
     from repro import rng as rng_mod
     from repro.models.base import GNNRegressor
     from repro.nn import precision
 
+    if config.get("trunk") == "shared":
+        return check_multitask_config(config)
     conv = config["conv"]
     label = config.get("label") or _config_label(config)
     dtype = config.get("dtype", "float64")
@@ -432,9 +493,84 @@ def check_model_config(config: dict) -> list[Finding]:
         ]
 
 
+def _default_head_depths(config: dict) -> "dict[str, int]":
+    """Per-target readout depths for a multi-task config.
+
+    Mirrors :func:`repro.models.trainer.resolve_target_scaler`: net targets
+    (CAP) read out through 4 FC layers, device parameters through 2, unless
+    the config pins ``num_fc_layers`` for every head.
+    """
+    from repro.data.targets import ALL_TARGETS
+
+    pinned = config.get("num_fc_layers")
+    return {
+        spec.name: (
+            pinned if pinned is not None else (4 if spec.kind == "net" else 2)
+        )
+        for spec in ALL_TARGETS
+    }
+
+
+def check_multitask_config(config: dict) -> list[Finding]:
+    """Build the multi-task model a config describes and check it.
+
+    Accepts the same keys as :func:`check_model_config` plus optional
+    ``heads`` (mapping target name -> readout depth; defaults to the
+    paper's 13 targets at their per-kind depths).
+    """
+    from repro import rng as rng_mod
+    from repro.models.multitask import MultiTaskModel, ReadoutHead, SharedTrunk
+    from repro.nn import precision
+
+    label = config.get("label") or _config_label(config)
+    dtype = config.get("dtype", "float64")
+    feature_dims = config.get("feature_dims") or _default_feature_dims()
+    embed_dim = config.get("embed_dim", 32)
+    head_depths = config.get("heads") or _default_head_depths(config)
+    try:
+        with precision.compute_dtype(dtype):
+            trunk = SharedTrunk(
+                config["conv"],
+                feature_dims,
+                rng_mod.stream(DEFAULT_MASTER_SEED, "staticcheck", label, "trunk"),
+                embed_dim=embed_dim,
+                num_layers=config.get("num_layers", 5),
+                conv_kwargs=config.get("conv_kwargs") or {},
+            )
+            heads = {
+                name: ReadoutHead(
+                    embed_dim,
+                    depth,
+                    rng_mod.stream(
+                        DEFAULT_MASTER_SEED, "staticcheck", label, "head", name
+                    ),
+                )
+                for name, depth in sorted(head_depths.items())
+            }
+            model = MultiTaskModel(trunk, heads)
+            return check_multitask(
+                model, feature_dims=feature_dims, label=label
+            )
+    except Exception as exc:  # construction itself violated a contract
+        return [
+            Finding(
+                rule=RULE_NAME,
+                path=f"model://{label}",
+                line=0,
+                message=f"model construction failed: {type(exc).__name__}: {exc}",
+                severity=Severity.ERROR,
+            )
+        ]
+
+
 def _config_label(config: dict) -> str:
     parts = [config["conv"]]
-    parts.append(f"fc{config.get('num_fc_layers', 4)}")
+    if config.get("trunk") == "shared":
+        parts.append("multitask")
+        if config.get("num_fc_layers") is not None:
+            parts.append(f"fc{config['num_fc_layers']}")
+    else:
+        parts.append(f"fc{config.get('num_fc_layers', 4)}")
     parts.append(str(config.get("dtype", "float64")))
     for key, value in sorted((config.get("conv_kwargs") or {}).items()):
         parts.append(f"{key}={value}")
@@ -475,6 +611,8 @@ def shipped_configs() -> list[dict]:
                 "conv_kwargs": dict(ablation),
             }
         )
+    for dtype in ("float64", "float32"):  # shared-trunk multi-task ensemble
+        configs.append({"conv": "paragraph", "trunk": "shared", "dtype": dtype})
     return configs
 
 

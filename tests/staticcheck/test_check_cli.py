@@ -71,6 +71,24 @@ class TestCheckCommand:
                      "src/repro/models/gbdt.py", "--no-baseline"])
         assert code == 0  # gbdt's findings are precision-policy only
 
+    def test_rules_subset_keeps_other_pragmas_valid(self):
+        """Pragmas for unselected rules are not typos under --rules."""
+        result = run_lint(rule_names=["determinism"])
+        assert not any(f.rule == "invalid-pragma" for f in result.findings)
+
+    def test_rules_subset_skips_stale_detection(self):
+        # a subset run can't tell a stale entry from an unselected rule's
+        result = run_lint(rule_names=["determinism"])
+        assert result.stale_baseline == []
+
+    def test_project_rules_subset_is_clean(self, capsys):
+        code = main(["check", "--no-shapes", "--project",
+                     "--rules", "lock-order,fork-safety"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "invalid-pragma" not in out
+        assert "stale" not in out
+
     def test_unknown_rule_is_usage_error(self, capsys):
         assert main(["check", "--rules", "bogus"]) == 2
         assert "unknown rule" in capsys.readouterr().err

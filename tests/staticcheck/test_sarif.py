@@ -1,0 +1,112 @@
+"""The SARIF reporter: structure, suppressions, and schema validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.staticcheck.findings import Finding, RelatedLocation, Severity
+from repro.staticcheck.reporters import render_sarif
+from repro.staticcheck.runner import CheckResult
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "sarif-2.1.0-subset.schema.json"
+)
+
+
+def sample_result() -> CheckResult:
+    findings = [
+        Finding(
+            rule="lock-order",
+            path="src/repro/serve/cache.py",
+            line=42,
+            col=8,
+            message="lock-order cycle A -> B -> A",
+            severity=Severity.ERROR,
+            snippet="with self._lock:",
+            related=(
+                RelatedLocation(
+                    path="src/repro/obs/metrics.py",
+                    line=17,
+                    snippet="with self._lock:",
+                    note="B acquired while A is held",
+                ),
+            ),
+        ),
+        Finding(
+            rule="precision-policy",
+            path="src/repro/data/targets.py",
+            line=55,
+            message="hard-coded np.float64",
+            severity=Severity.ERROR,
+            snippet="out = np.empty(n, dtype=np.float64)",
+            baselined=True,
+        ),
+        Finding(
+            rule="resource-lifecycle",
+            path="src/repro/data/loader.py",
+            line=9,
+            message="fh leaks on exception paths",
+            severity=Severity.WARNING,
+            snippet="fh = open(path)",
+            suppressed=True,
+        ),
+    ]
+    return CheckResult(findings=findings, files_checked=3)
+
+
+def test_sarif_structure():
+    doc = json.loads(render_sarif(sample_result()))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-staticcheck"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    results = run["results"]
+    assert len(results) == 3
+    by_rule = {r["ruleId"]: r for r in results}
+    cycle = by_rule["lock-order"]
+    assert cycle["level"] == "error"
+    # ruleIndex points back into the driver rules catalog
+    assert rule_ids[cycle["ruleIndex"]] == "lock-order"
+    region = cycle["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 42
+    assert region["startColumn"] == 9  # col is 0-based, SARIF 1-based
+    assert (
+        cycle["relatedLocations"][0]["physicalLocation"]["artifactLocation"][
+            "uri"
+        ]
+        == "src/repro/obs/metrics.py"
+    )
+    assert cycle["partialFingerprints"]["reproStaticcheck/v1"]
+
+
+def test_sarif_suppressions():
+    doc = json.loads(render_sarif(sample_result()))
+    by_rule = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    assert "suppressions" not in by_rule["lock-order"]
+    assert by_rule["precision-policy"]["suppressions"] == [
+        {"kind": "external"}
+    ]
+    assert by_rule["resource-lifecycle"]["suppressions"] == [
+        {"kind": "inSource"}
+    ]
+
+
+def test_sarif_validates_against_2_1_0_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    with open(SCHEMA_PATH, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    doc = json.loads(render_sarif(sample_result()))
+    jsonschema.validate(instance=doc, schema=schema)
+
+
+def test_full_repo_sarif_validates():
+    jsonschema = pytest.importorskip("jsonschema")
+    from repro.staticcheck.runner import run_lint
+
+    with open(SCHEMA_PATH, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    doc = json.loads(render_sarif(run_lint()))
+    jsonschema.validate(instance=doc, schema=schema)
+    assert doc["runs"][0]["results"]  # the baseline entries are recorded

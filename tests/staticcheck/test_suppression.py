@@ -1,12 +1,15 @@
 """Pragma and baseline suppression paths, including the failure modes."""
 
+import ast
 import json
+import textwrap
 
 import pytest
 
 from repro.errors import StaticCheckError
 from repro.staticcheck import Baseline, LintEngine, all_rules, load_baseline
 from repro.staticcheck.baseline import write_baseline
+from repro.staticcheck.engine import Rule
 from repro.staticcheck.pragmas import parse_pragmas
 
 BAD = "import numpy as np\nx = np.zeros(3, dtype=np.float64)\n"
@@ -70,6 +73,120 @@ class TestPragmas:
     def test_malformed_pragma_reported(self):
         index = parse_pragmas("# staticcheck: suppress-everything\n")
         assert index.malformed
+
+
+class _DefAnchorRule(Rule):
+    """Test-only rule anchoring a finding on every function definition."""
+
+    name = "def-anchor"
+    description = "flags every def (findings anchor at the def line)"
+
+    def check_module(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield self.finding(ctx, node, f"def {node.name} flagged")
+
+
+class TestPragmaEdgeCases:
+    def def_lint(self, source):
+        return LintEngine([_DefAnchorRule()]).check_source(
+            "src/repro/models/foo.py", textwrap.dedent(source)
+        )
+
+    def test_pragma_above_decorator_reaches_the_def_line(self):
+        findings = self.def_lint(
+            """
+            # staticcheck: ignore[def-anchor] -- decorated def
+            @staticmethod
+            @property
+            def helper():
+                return 1
+            """
+        )
+        assert len(findings) == 1 and findings[0].suppressed
+
+    def test_pragma_covers_multi_line_decorator_arguments(self):
+        findings = self.def_lint(
+            """
+            # staticcheck: ignore[def-anchor] -- decorated def
+            @register(
+                name="helper",
+            )
+            def helper():
+                return 1
+            """
+        )
+        assert len(findings) == 1 and findings[0].suppressed
+
+    def test_pragma_above_plain_statement_does_not_leak_to_next_def(self):
+        findings = self.def_lint(
+            """
+            # staticcheck: ignore[def-anchor] -- only the assignment
+            x = 1
+            def helper():
+                return 1
+            """
+        )
+        assert len(findings) == 1 and not findings[0].suppressed
+
+    def test_multi_rule_ignore_suppresses_both_rules(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.asarray(np.random.default_rng().normal(size=3), "
+            "dtype=np.float64)  "
+            "# staticcheck: ignore[determinism,precision-policy] -- test\n"
+        )
+        findings = lint(source, "src/repro/data/foo.py")
+        rules = {f.rule for f in findings}
+        assert {"determinism", "precision-policy"} <= rules
+        assert all(f.suppressed for f in findings)
+
+    def test_multi_rule_ignore_leaves_unlisted_rules_active(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.asarray(np.random.default_rng().normal(size=3), "
+            "dtype=np.float64)  # staticcheck: ignore[determinism] -- test\n"
+        )
+        findings = lint(source, "src/repro/data/foo.py")
+        by_rule = {f.rule: f.suppressed for f in findings}
+        assert by_rule["determinism"] is True
+        assert by_rule["precision-policy"] is False
+
+    def test_inline_pragma_inside_with_block(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+            with open("f") as fh:
+                x = np.zeros(3, dtype=np.float64)  # staticcheck: ignore[precision-policy]
+            """
+        )
+        findings = [f for f in lint(source) if f.rule == "precision-policy"]
+        assert len(findings) == 1 and findings[0].suppressed
+
+    def test_indented_standalone_pragma_inside_with_block(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+            with open("f") as fh:
+                # staticcheck: ignore[precision-policy] -- canonical on disk
+                x = np.zeros(3, dtype=np.float64)
+            """
+        )
+        findings = [f for f in lint(source) if f.rule == "precision-policy"]
+        assert len(findings) == 1 and findings[0].suppressed
+
+    def test_pragma_on_with_item_line_of_multi_line_header(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+            with ctx(
+                np.zeros(3, dtype=np.float64)  # staticcheck: ignore[precision-policy]
+            ):
+                pass
+            """
+        )
+        findings = [f for f in lint(source) if f.rule == "precision-policy"]
+        assert len(findings) == 1 and findings[0].suppressed
 
 
 class TestBaseline:
